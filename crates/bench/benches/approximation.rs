@@ -1,0 +1,98 @@
+//! Benchmarks of the paper's headline comparison: exact vs. memory-
+//! driven vs. fidelity-driven simulation on the Table-I workload
+//! families (scaled to bench-friendly sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use approxdd_circuit::generators;
+use approxdd_sim::{SimOptions, Simulator, Strategy};
+
+fn bench_supremacy_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supremacy_strategies");
+    group.sample_size(10);
+    let circuit = generators::supremacy(3, 4, 12, 0);
+
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimOptions::default());
+            std::hint::black_box(sim.run(&circuit).expect("run"));
+        });
+    });
+    for f_round in [0.99, 0.95] {
+        group.bench_function(format!("memory_driven_f{f_round}"), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(SimOptions {
+                    strategy: Strategy::MemoryDriven {
+                        node_threshold: 1 << 9,
+                        round_fidelity: f_round,
+                        threshold_growth: 1.0,
+                    },
+                    ..SimOptions::default()
+                });
+                std::hint::black_box(sim.run(&circuit).expect("run"));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shor_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shor_strategies");
+    group.sample_size(10);
+    let circuit = approxdd_shor::shor_circuit(33, 5).expect("shor_33_5");
+
+    group.bench_function("exact_shor_33_5", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimOptions::default());
+            std::hint::black_box(sim.run(&circuit).expect("run"));
+        });
+    });
+    group.bench_function("fidelity_driven_shor_33_5", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimOptions {
+                strategy: Strategy::FidelityDriven {
+                    final_fidelity: 0.5,
+                    round_fidelity: 0.9,
+                },
+                ..SimOptions::default()
+            });
+            std::hint::black_box(sim.run(&circuit).expect("run"));
+        });
+    });
+    group.finish();
+}
+
+fn bench_approximation_overhead(c: &mut Criterion) {
+    // Overhead of rounds on a circuit where approximation cannot remove
+    // anything (GHZ is already maximally compact): measures the pure
+    // cost of contribution analysis + rebuild.
+    let mut group = c.benchmark_group("approximation_overhead");
+    let circuit = generators::ghz(20);
+    group.bench_function("ghz20_exact", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimOptions::default());
+            std::hint::black_box(sim.run(&circuit).expect("run"));
+        });
+    });
+    group.bench_function("ghz20_with_useless_rounds", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimOptions {
+                strategy: Strategy::FidelityDriven {
+                    final_fidelity: 0.5,
+                    round_fidelity: 0.9,
+                },
+                ..SimOptions::default()
+            });
+            std::hint::black_box(sim.run(&circuit).expect("run"));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_supremacy_strategies,
+    bench_shor_strategies,
+    bench_approximation_overhead
+);
+criterion_main!(benches);

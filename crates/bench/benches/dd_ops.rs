@@ -1,0 +1,152 @@
+//! Micro-benchmarks of the DD primitives the approximation strategies
+//! trade against state size: addition, matrix–vector multiplication,
+//! inner products, contribution analysis, and truncation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use approxdd_circuit::generators;
+use approxdd_dd::{Package, RemovalStrategy, VEdge};
+use approxdd_sim::{SimOptions, Simulator};
+
+/// Builds a structured (supremacy) state inside a fresh package.
+fn supremacy_state(n_rows: usize, n_cols: usize, depth: usize) -> (Simulator, VEdge) {
+    let mut sim = Simulator::new(SimOptions::default());
+    let run = sim
+        .run(&generators::supremacy(n_rows, n_cols, depth, 1))
+        .expect("supremacy run");
+    let state = run.state();
+    (sim, state)
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd_apply");
+    group.bench_function("hadamard_on_supremacy_12q", |b| {
+        let (mut sim, state) = supremacy_state(3, 4, 8);
+        let h = {
+            let p = sim.package_mut();
+            p.single_gate(12, 5, approxdd_dd::GateKind::H.matrix())
+                .expect("gate")
+        };
+        sim.package_mut().inc_ref_m(h);
+        b.iter(|| {
+            let p = sim.package_mut();
+            std::hint::black_box(p.apply(h, state));
+        });
+    });
+    group.bench_function("cz_on_supremacy_12q", |b| {
+        let (mut sim, state) = supremacy_state(3, 4, 8);
+        let cz = {
+            let p = sim.package_mut();
+            p.controlled_gate(12, &[3], 8, approxdd_dd::GateKind::Z.matrix())
+                .expect("gate")
+        };
+        sim.package_mut().inc_ref_m(cz);
+        b.iter(|| {
+            let p = sim.package_mut();
+            std::hint::black_box(p.apply(cz, state));
+        });
+    });
+    group.finish();
+}
+
+fn bench_add_and_inner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd_linear_ops");
+    group.bench_function("add_two_supremacy_states", |b| {
+        let (mut sim, s1) = supremacy_state(3, 4, 8);
+        let c2 = generators::supremacy(3, 4, 8, 2);
+        let run2 = sim.run(&c2).expect("second run");
+        let s2 = run2.state();
+        b.iter(|| {
+            let p = sim.package_mut();
+            std::hint::black_box(p.add(s1, s2));
+        });
+    });
+    group.bench_function("inner_product_supremacy", |b| {
+        let (mut sim, s1) = supremacy_state(3, 4, 8);
+        let run2 = sim
+            .run(&generators::supremacy(3, 4, 8, 2))
+            .expect("second run");
+        let s2 = run2.state();
+        b.iter(|| {
+            let p = sim.package_mut();
+            std::hint::black_box(p.inner_product(s1, s2));
+        });
+    });
+    group.finish();
+}
+
+fn bench_contribution_and_truncate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd_approximation_primitives");
+    group.bench_function("contributions_supremacy_12q", |b| {
+        let (sim, state) = supremacy_state(3, 4, 10);
+        b.iter(|| {
+            std::hint::black_box(sim.package().contributions(state));
+        });
+    });
+    group.bench_function("truncate_budget_0.05", |b| {
+        let (mut sim, state) = supremacy_state(3, 4, 10);
+        b.iter_batched(
+            || state,
+            |s| {
+                let p = sim.package_mut();
+                std::hint::black_box(p.truncate(s, RemovalStrategy::Budget(0.05)).expect("truncate"));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("truncate_edges_budget_0.05", |b| {
+        let (mut sim, state) = supremacy_state(3, 4, 10);
+        b.iter_batched(
+            || state,
+            |s| {
+                let p = sim.package_mut();
+                std::hint::black_box(p.truncate_edges(s, 0.05).expect("truncate_edges"));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_gate_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd_gate_construction");
+    group.bench_function("modmul_permutation_18q", |b| {
+        // The shor_33_5 work-register multiplication: 6-qubit permutation
+        // controlled from the counting register, embedded in 18 qubits.
+        let perm: Vec<usize> = (0..64)
+            .map(|x| if x < 33 { (5 * x) % 33 } else { x })
+            .collect();
+        b.iter_batched(
+            Package::new,
+            |mut p| {
+                std::hint::black_box(
+                    p.permutation_gate(18, 0, 6, &perm, &[(10, true)])
+                        .expect("permutation gate"),
+                );
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("controlled_phase_20q", |b| {
+        b.iter_batched(
+            Package::new,
+            |mut p| {
+                std::hint::black_box(
+                    p.controlled_gate(20, &[3], 17, approxdd_dd::GateKind::Phase(0.3).matrix())
+                        .expect("cp gate"),
+                );
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_apply,
+    bench_add_and_inner,
+    bench_contribution_and_truncate,
+    bench_gate_construction
+);
+criterion_main!(benches);

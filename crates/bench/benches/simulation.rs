@@ -1,0 +1,79 @@
+//! End-to-end simulation benchmarks: DD-based exact simulation vs. the
+//! dense state-vector baseline on the workload families, quantifying
+//! where decision diagrams win (structured states) and where they
+//! struggle (supremacy circuits) — the landscape the paper's Section
+//! III motivates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use approxdd_circuit::generators;
+use approxdd_sim::{SimOptions, Simulator};
+use approxdd_statevector::State;
+
+fn bench_structured_circuits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_structured");
+    for (label, circuit) in [
+        ("ghz_16", generators::ghz(16)),
+        ("qft_12", generators::qft(12)),
+        ("grover_10", generators::grover(10, 0b1011011011, Some(4))),
+        ("bv_16", generators::bernstein_vazirani(16, 0xBEEF)),
+    ] {
+        group.bench_function(format!("dd_{label}"), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(SimOptions::default());
+                std::hint::black_box(sim.run(&circuit).expect("run"));
+            });
+        });
+        group.bench_function(format!("statevector_{label}"), |b| {
+            b.iter(|| {
+                let mut s = State::zero(circuit.n_qubits());
+                s.run(&circuit).expect("run");
+                std::hint::black_box(s.norm());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_supremacy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_supremacy");
+    group.sample_size(10);
+    let circuit = generators::supremacy(3, 4, 10, 0);
+    group.bench_function("dd_qsup_3x4_10", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimOptions::default());
+            std::hint::black_box(sim.run(&circuit).expect("run"));
+        });
+    });
+    group.bench_function("statevector_qsup_3x4_10", |b| {
+        b.iter(|| {
+            let mut s = State::zero(circuit.n_qubits());
+            s.run(&circuit).expect("run");
+            std::hint::black_box(s.norm());
+        });
+    });
+    group.finish();
+}
+
+fn bench_shor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_shor");
+    group.sample_size(10);
+    let circuit = approxdd_shor::shor_circuit(15, 7).expect("shor_15_7");
+    group.bench_function("dd_shor_15_7", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimOptions::default());
+            std::hint::black_box(sim.run(&circuit).expect("run"));
+        });
+    });
+    group.bench_function("statevector_shor_15_7", |b| {
+        b.iter(|| {
+            let mut s = State::zero(circuit.n_qubits());
+            s.run(&circuit).expect("run");
+            std::hint::black_box(s.norm());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_structured_circuits, bench_supremacy, bench_shor);
+criterion_main!(benches);

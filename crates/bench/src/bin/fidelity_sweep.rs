@@ -1,0 +1,37 @@
+//! Ablation: per-round fidelity sweep of the memory-driven strategy
+//! (extends the three Table-I points per instance into a full series).
+//!
+//! ```text
+//! fidelity_sweep [--rows R] [--cols C] [--depth D] [--seed S] [--threshold T]
+//! ```
+
+use approxdd_bench::sweeps::{format_sweep, round_fidelity_sweep};
+use approxdd_circuit::generators;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows = num_arg(&args, "--rows", 4);
+    let cols = num_arg(&args, "--cols", 4);
+    let depth = num_arg(&args, "--depth", 10);
+    let seed = num_arg(&args, "--seed", 0) as u64;
+    let threshold = num_arg(&args, "--threshold", 1 << 11);
+
+    let circuit = generators::supremacy(rows, cols, depth, seed);
+    println!(
+        "f_round sweep on {} (threshold {threshold} nodes)",
+        circuit.name()
+    );
+    let f_rounds = [0.995, 0.99, 0.975, 0.95, 0.925, 0.90];
+    match round_fidelity_sweep(&circuit, threshold, &f_rounds) {
+        Ok(points) => print!("{}", format_sweep(&points)),
+        Err(e) => eprintln!("sweep failed: {e}"),
+    }
+}
+
+fn num_arg(args: &[String], key: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

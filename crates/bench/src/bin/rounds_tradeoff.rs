@@ -1,0 +1,39 @@
+//! Ablation: the Section IV-C tradeoff between few aggressive and many
+//! gentle approximation rounds at a fixed total fidelity budget.
+//!
+//! ```text
+//! rounds_tradeoff [--workload supremacy|shor] [--ffinal F]
+//! ```
+
+use approxdd_bench::sweeps::{format_tradeoff, rounds_tradeoff};
+use approxdd_circuit::generators;
+use approxdd_shor::shor_circuit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = args
+        .iter()
+        .position(|a| a == "--workload")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "supremacy".to_string());
+    let f_final = args
+        .iter()
+        .position(|a| a == "--ffinal")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5);
+
+    let circuit = match workload.as_str() {
+        "shor" => shor_circuit(33, 5).expect("shor_33_5 builds"),
+        _ => generators::supremacy(4, 4, 10, 0),
+    };
+    println!(
+        "rounds tradeoff on {} (total budget f_final = {f_final})",
+        circuit.name()
+    );
+    let counts = [1usize, 2, 4, 6, 8, 12];
+    match rounds_tradeoff(&circuit, f_final, &counts) {
+        Ok(points) => print!("{}", format_tradeoff(&points)),
+        Err(e) => eprintln!("tradeoff failed: {e}"),
+    }
+}

@@ -1,0 +1,90 @@
+//! Regenerates Table I of the paper.
+//!
+//! ```text
+//! table1 [--part memory|fidelity|all] [--large] [--skip-exact]
+//! ```
+//!
+//! * `--part` selects the memory-driven (supremacy) or fidelity-driven
+//!   (Shor) half; default `all`.
+//! * `--large` switches to the paper-scale instances (4×5 depth-15
+//!   supremacy grids; shor_323_8 / shor_629_8 / shor_1157_8). Expect
+//!   long exact runtimes — combine with `--skip-exact` to reproduce
+//!   the paper's "Timeout" rows.
+//! * `--skip-exact` omits the non-approximating reference runs.
+//!
+//! The memory-driven rows run with a fixed threshold
+//! (`threshold_growth = 1.0`): the paper's text prescribes doubling,
+//! but its reported round counts (~50–90) require the fixed-threshold
+//! regime — see DESIGN.md §5a and EXPERIMENTS.md.
+
+use approxdd_bench::{fidelity_driven_row, format_rows, memory_driven_row, workloads, TableRow};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let part = arg_value(&args, "--part").unwrap_or_else(|| "all".to_string());
+    let large = args.iter().any(|a| a == "--large");
+    let skip_exact = args.iter().any(|a| a == "--skip-exact");
+
+    let mut rows: Vec<TableRow> = Vec::new();
+
+    if part == "memory" || part == "all" {
+        println!("== Memory-driven approximation (quantum-supremacy circuits) ==");
+        let circuits = if large {
+            workloads::supremacy_large()
+        } else {
+            workloads::supremacy_default()
+        };
+        let threshold = if large {
+            1 << 15
+        } else {
+            workloads::SUPREMACY_THRESHOLD
+        };
+        for circuit in &circuits {
+            for f_round in workloads::SUPREMACY_ROUND_FIDELITIES {
+                match memory_driven_row(circuit, threshold, f_round, 1.0, skip_exact) {
+                    Ok(row) => {
+                        eprintln!(
+                            "  done: {} fround={f_round} ({} rounds, ffinal {:.3})",
+                            row.name, row.rounds, row.f_final
+                        );
+                        rows.push(row);
+                    }
+                    Err(e) => eprintln!("  FAILED {} fround={f_round}: {e}", circuit.name()),
+                }
+            }
+        }
+    }
+
+    if part == "fidelity" || part == "all" {
+        println!("== Fidelity-driven approximation (Shor, target ffinal = 0.5) ==");
+        let mut instances: Vec<(u64, u64)> = workloads::SHOR_DEFAULT.to_vec();
+        if large {
+            instances.extend_from_slice(&workloads::SHOR_LARGE);
+        }
+        for (n, a) in instances {
+            // The paper's exact runs of the two largest instances timed
+            // out; skip exact there unless the user insists.
+            let skip = skip_exact || (large && n >= 629);
+            match fidelity_driven_row(n, a, 0.5, 0.9, skip) {
+                Ok(row) => {
+                    eprintln!(
+                        "  done: {} ({} rounds, ffinal {:.3}, factored: {:?})",
+                        row.name, row.rounds, row.f_final, row.factored
+                    );
+                    rows.push(row);
+                }
+                Err(e) => eprintln!("  FAILED shor_{n}_{a}: {e}"),
+            }
+        }
+    }
+
+    println!();
+    println!("{}", format_rows(&rows));
+    println!("(Exact columns '-' reproduce the paper's Timeout entries / --skip-exact.)");
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,279 @@
+//! Shared harness for regenerating the paper's evaluation artifacts.
+//!
+//! The paper's evaluation (Section VI, Table I) has two halves:
+//!
+//! * **memory-driven** on quantum-supremacy grid circuits
+//!   (`qsup_AxB_C`), comparing exact simulation against the reactive
+//!   threshold strategy at `f_round ∈ {0.99, 0.975, 0.95}`;
+//! * **fidelity-driven** on Shor instances (`shor_N_a`) targeting
+//!   `f_final = 0.5` at `f_round = 0.9`.
+//!
+//! [`memory_driven_row`] and [`fidelity_driven_row`] produce one table
+//! row each; [`workloads`] defines the benchmark instances (laptop-scale
+//! defaults plus the paper-scale `--large` set); [`format_rows`] renders
+//! the rows in the layout of Table I.
+
+use std::time::Duration;
+
+use approxdd_circuit::{generators, Circuit};
+use approxdd_shor::{factor, shor_circuit, FactorOptions};
+use approxdd_sim::{SimError, SimOptions, Simulator, Strategy};
+
+pub mod sweeps;
+
+/// One row of the regenerated Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// Benchmark name (`qsup_4x4_12_0`, `shor_33_5`, …).
+    pub name: String,
+    /// Register width.
+    pub qubits: usize,
+    /// Exact run: maximum DD node count (`None` when skipped/timeout).
+    pub exact_max_dd: Option<usize>,
+    /// Exact run: wall-clock runtime.
+    pub exact_runtime: Option<Duration>,
+    /// Approximate run: maximum DD node count.
+    pub approx_max_dd: usize,
+    /// Approximation rounds performed.
+    pub rounds: usize,
+    /// Per-round target fidelity.
+    pub f_round: f64,
+    /// Approximate run: wall-clock runtime.
+    pub approx_runtime: Duration,
+    /// Measured final fidelity (product of round fidelities; exact by
+    /// Lemma 1).
+    pub f_final: f64,
+    /// For Shor rows: whether classical post-processing recovered the
+    /// factors from the approximate state.
+    pub factored: Option<bool>,
+}
+
+/// Runs one memory-driven benchmark row: an exact reference run (unless
+/// `skip_exact`) and an approximate run with the given threshold, round
+/// fidelity and threshold growth factor (the paper's text prescribes
+/// growth 2.0; growth 1.0 reproduces the many-rounds regime its Table I
+/// actually reports — see `Strategy::MemoryDriven`).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn memory_driven_row(
+    circuit: &Circuit,
+    node_threshold: usize,
+    f_round: f64,
+    threshold_growth: f64,
+    skip_exact: bool,
+) -> Result<TableRow, SimError> {
+    let (exact_max_dd, exact_runtime) = if skip_exact {
+        (None, None)
+    } else {
+        let mut sim = Simulator::new(SimOptions::default());
+        let run = sim.run(circuit)?;
+        (Some(run.stats.max_dd_size), Some(run.stats.runtime))
+    };
+
+    let mut sim = Simulator::new(SimOptions {
+        strategy: Strategy::MemoryDriven {
+            node_threshold,
+            round_fidelity: f_round,
+            threshold_growth,
+        },
+        ..SimOptions::default()
+    });
+    let run = sim.run(circuit)?;
+
+    Ok(TableRow {
+        name: circuit.name().to_string(),
+        qubits: circuit.n_qubits(),
+        exact_max_dd,
+        exact_runtime,
+        approx_max_dd: run.stats.max_dd_size,
+        rounds: run.stats.approx_rounds,
+        f_round,
+        approx_runtime: run.stats.runtime,
+        f_final: run.stats.fidelity,
+        factored: None,
+    })
+}
+
+/// Runs one fidelity-driven Shor benchmark row: an exact reference run
+/// (unless `skip_exact`), then the approximate run with
+/// `f_final = 0.5`, `f_round = 0.9` (the paper's configuration),
+/// finishing with classical post-processing to check that the factors
+/// are still recovered.
+///
+/// # Errors
+///
+/// Propagates circuit construction and simulator errors.
+pub fn fidelity_driven_row(
+    n: u64,
+    a: u64,
+    final_fidelity: f64,
+    f_round: f64,
+    skip_exact: bool,
+) -> Result<TableRow, Box<dyn std::error::Error>> {
+    let circuit = shor_circuit(n, a)?;
+
+    let (exact_max_dd, exact_runtime) = if skip_exact {
+        (None, None)
+    } else {
+        let mut sim = Simulator::new(SimOptions::default());
+        let run = sim.run(&circuit)?;
+        (Some(run.stats.max_dd_size), Some(run.stats.runtime))
+    };
+
+    let opts = FactorOptions {
+        strategy: Strategy::FidelityDriven {
+            final_fidelity,
+            round_fidelity: f_round,
+        },
+        base: Some(a),
+        ..FactorOptions::default()
+    };
+    let outcome = factor(n, &opts);
+    let (factored, stats) = match &outcome {
+        Ok(out) => (
+            out.factors.0 * out.factors.1 == n,
+            out.sim_stats.clone(),
+        ),
+        Err(_) => (false, None),
+    };
+    // If factoring took a classical shortcut we still want the quantum
+    // stats; rerun the simulation alone in that case.
+    let stats = match stats {
+        Some(s) => s,
+        None => {
+            let mut sim = Simulator::new(SimOptions {
+                strategy: opts.strategy,
+                ..SimOptions::default()
+            });
+            sim.run(&circuit)?.stats
+        }
+    };
+
+    Ok(TableRow {
+        name: circuit.name().to_string(),
+        qubits: circuit.n_qubits(),
+        exact_max_dd,
+        exact_runtime,
+        approx_max_dd: stats.max_dd_size,
+        rounds: stats.approx_rounds,
+        f_round,
+        approx_runtime: stats.runtime,
+        f_final: stats.fidelity,
+        factored: Some(factored),
+    })
+}
+
+/// Benchmark instance definitions.
+pub mod workloads {
+    use super::{generators, Circuit};
+
+    /// Laptop-scale supremacy instances: 4×4 grid, depth 12, three
+    /// seeds (the paper uses 4×5 depth 15, ~1 h per exact run on a
+    /// server; the 4×4 instances keep the same structure at minutes of
+    /// total runtime).
+    #[must_use]
+    pub fn supremacy_default() -> Vec<Circuit> {
+        (0..3).map(|seed| generators::supremacy(4, 4, 12, seed)).collect()
+    }
+
+    /// Paper-scale supremacy instances (`qsup_4x5_15_{0,1,2}`, 20
+    /// qubits, depth 15). Expect long exact runtimes.
+    #[must_use]
+    pub fn supremacy_large() -> Vec<Circuit> {
+        (0..3).map(|seed| generators::supremacy(4, 5, 15, seed)).collect()
+    }
+
+    /// Default node threshold for the memory-driven strategy on the
+    /// laptop-scale instances (the paper used thresholds sized to its
+    /// 20-qubit instances).
+    pub const SUPREMACY_THRESHOLD: usize = 1 << 12;
+
+    /// The `f_round` values of the memory-driven half of Table I
+    /// (the paper's three values plus two lower ones: at laptop scale
+    /// the 16-qubit instances saturate at 2^16 nodes, so the runtime
+    /// crossover sits at lower per-round fidelity than on the paper's
+    /// 20-qubit instances — the extended sweep makes it visible).
+    pub const SUPREMACY_ROUND_FIDELITIES: [f64; 5] = [0.99, 0.975, 0.95, 0.9, 0.8];
+
+    /// Laptop-scale Shor instances `(n, a)` from Table I (exact
+    /// simulation finishes in seconds to minutes).
+    pub const SHOR_DEFAULT: [(u64, u64); 4] = [(33, 5), (55, 2), (69, 2), (221, 4)];
+
+    /// Paper-scale Shor instances; the last two timed out (3 h) even on
+    /// the paper's server when simulated exactly.
+    pub const SHOR_LARGE: [(u64, u64); 3] = [(323, 8), (629, 8), (1157, 8)];
+}
+
+/// Formats rows in the layout of Table I.
+#[must_use]
+pub fn format_rows(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>6} | {:>12} {:>11} | {:>12} {:>6} {:>7} {:>11} {:>8} {:>8}\n",
+        "Benchmark",
+        "Qubits",
+        "ExactMaxDD",
+        "Exact[s]",
+        "ApproxMaxDD",
+        "Rounds",
+        "fround",
+        "Approx[s]",
+        "ffinal",
+        "Factored"
+    ));
+    out.push_str(&"-".repeat(118));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>6} | {:>12} {:>11} | {:>12} {:>6} {:>7.3} {:>11.3} {:>8.3} {:>8}\n",
+            r.name,
+            r.qubits,
+            r.exact_max_dd
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+            r.exact_runtime
+                .map_or_else(|| "-".to_string(), |d| format!("{:.3}", d.as_secs_f64())),
+            r.approx_max_dd,
+            r.rounds,
+            r.f_round,
+            r.approx_runtime.as_secs_f64(),
+            r.f_final,
+            r.factored
+                .map_or_else(|| "-".to_string(), |b| if b { "yes" } else { "NO" }.to_string()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_driven_row_on_small_instance() {
+        let c = generators::supremacy(2, 3, 10, 0);
+        let row = memory_driven_row(&c, 8, 0.95, 1.0, false).unwrap();
+        assert_eq!(row.qubits, 6);
+        assert!(row.exact_max_dd.is_some());
+        assert!(row.f_final > 0.0 && row.f_final <= 1.0);
+        assert!(row.approx_max_dd <= row.exact_max_dd.unwrap());
+    }
+
+    #[test]
+    fn fidelity_driven_row_factors_15() {
+        let row = fidelity_driven_row(15, 7, 0.5, 0.9, false).unwrap();
+        assert_eq!(row.qubits, 12);
+        assert_eq!(row.factored, Some(true));
+        assert!(row.f_final >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn formatting_contains_all_rows() {
+        let c = generators::supremacy(2, 2, 6, 0);
+        let row = memory_driven_row(&c, 4, 0.9, 1.0, false).unwrap();
+        let text = format_rows(&[row]);
+        assert!(text.contains("qsup_2x2_6_0"));
+        assert!(text.contains("Benchmark"));
+    }
+}

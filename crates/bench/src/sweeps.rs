@@ -1,0 +1,197 @@
+//! Parameter sweeps backing the ablation figures: the per-round
+//! fidelity sweep (extending the memory-driven rows of Table I into a
+//! series) and the rounds-vs-fidelity tradeoff of Section IV-C.
+
+use std::time::Duration;
+
+use approxdd_circuit::Circuit;
+use approxdd_sim::{SimError, SimOptions, Simulator, Strategy};
+
+/// One point of the `f_round` sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Per-round target fidelity.
+    pub f_round: f64,
+    /// Maximum DD node count during the run.
+    pub max_dd_size: usize,
+    /// Rounds performed.
+    pub rounds: usize,
+    /// Final measured fidelity.
+    pub f_final: f64,
+    /// Wall-clock runtime.
+    pub runtime: Duration,
+}
+
+/// Sweeps the memory-driven strategy over per-round fidelities on one
+/// circuit, holding the node threshold fixed. The paper's Table I shows
+/// three such points per instance; this produces the full series.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn round_fidelity_sweep(
+    circuit: &Circuit,
+    node_threshold: usize,
+    f_rounds: &[f64],
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut out = Vec::with_capacity(f_rounds.len());
+    for &f_round in f_rounds {
+        let mut sim = Simulator::new(SimOptions {
+            strategy: Strategy::MemoryDriven {
+                node_threshold,
+                round_fidelity: f_round,
+                threshold_growth: 1.0,
+            },
+            ..SimOptions::default()
+        });
+        let run = sim.run(circuit)?;
+        out.push(SweepPoint {
+            f_round,
+            max_dd_size: run.stats.max_dd_size,
+            rounds: run.stats.approx_rounds,
+            f_final: run.stats.fidelity,
+            runtime: run.stats.runtime,
+        });
+    }
+    Ok(out)
+}
+
+/// One point of the rounds-tradeoff ablation: the same total fidelity
+/// budget split across `k` rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffPoint {
+    /// Number of scheduled rounds.
+    pub rounds_requested: usize,
+    /// Per-round fidelity used (`f_final^(1/k)`).
+    pub f_round: f64,
+    /// Rounds actually performed.
+    pub rounds_performed: usize,
+    /// Maximum DD node count.
+    pub max_dd_size: usize,
+    /// Final measured fidelity.
+    pub f_final: f64,
+    /// Wall-clock runtime.
+    pub runtime: Duration,
+}
+
+/// The Section IV-C tradeoff: few aggressive rounds vs. many gentle
+/// rounds at (approximately) the same total budget. For each `k` in
+/// `round_counts`, runs fidelity-driven with `f_round = f_final^(1/k)`
+/// — so the scheduled round count is exactly `k` and the guaranteed
+/// floor is `f_final` in every configuration.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn rounds_tradeoff(
+    circuit: &Circuit,
+    final_fidelity: f64,
+    round_counts: &[usize],
+) -> Result<Vec<TradeoffPoint>, SimError> {
+    let mut out = Vec::with_capacity(round_counts.len());
+    for &k in round_counts {
+        assert!(k > 0, "round counts must be positive");
+        let f_round = final_fidelity.powf(1.0 / k as f64);
+        let mut sim = Simulator::new(SimOptions {
+            strategy: Strategy::FidelityDriven {
+                final_fidelity,
+                round_fidelity: f_round,
+            },
+            ..SimOptions::default()
+        });
+        let run = sim.run(circuit)?;
+        out.push(TradeoffPoint {
+            rounds_requested: k,
+            f_round,
+            rounds_performed: run.stats.approx_rounds,
+            max_dd_size: run.stats.max_dd_size,
+            f_final: run.stats.fidelity,
+            runtime: run.stats.runtime,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders sweep points as an aligned text table.
+#[must_use]
+pub fn format_sweep(points: &[SweepPoint]) -> String {
+    let mut out = format!(
+        "{:>8} {:>12} {:>8} {:>10} {:>12}\n",
+        "fround", "MaxDDSize", "Rounds", "ffinal", "Runtime[s]"
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>8.4} {:>12} {:>8} {:>10.4} {:>12.4}\n",
+            p.f_round,
+            p.max_dd_size,
+            p.rounds,
+            p.f_final,
+            p.runtime.as_secs_f64()
+        ));
+    }
+    out
+}
+
+/// Renders tradeoff points as an aligned text table.
+#[must_use]
+pub fn format_tradeoff(points: &[TradeoffPoint]) -> String {
+    let mut out = format!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10} {:>12}\n",
+        "k", "fround", "performed", "MaxDDSize", "ffinal", "Runtime[s]"
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>8} {:>10.4} {:>10} {:>12} {:>10.4} {:>12.4}\n",
+            p.rounds_requested,
+            p.f_round,
+            p.rounds_performed,
+            p.max_dd_size,
+            p.f_final,
+            p.runtime.as_secs_f64()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxdd_circuit::generators;
+
+    #[test]
+    fn sweep_lower_fidelity_never_grows_dd() {
+        let c = generators::supremacy(2, 3, 10, 0);
+        let pts = round_fidelity_sweep(&c, 8, &[0.99, 0.95, 0.90]).unwrap();
+        assert_eq!(pts.len(), 3);
+        // Lower per-round fidelity ⇒ (weakly) smaller max DD and lower
+        // final fidelity — the monotonicity visible in Table I.
+        for w in pts.windows(2) {
+            assert!(w[1].max_dd_size <= w[0].max_dd_size + 2);
+            assert!(w[1].f_final <= w[0].f_final + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tradeoff_respects_floor_in_all_configs() {
+        let c = generators::supremacy(2, 3, 12, 1);
+        let pts = rounds_tradeoff(&c, 0.6, &[1, 2, 4]).unwrap();
+        for p in &pts {
+            assert!(
+                p.f_final >= 0.6 - 1e-9,
+                "k={} fidelity {}",
+                p.rounds_requested,
+                p.f_final
+            );
+            assert!(p.rounds_performed <= p.rounds_requested);
+        }
+    }
+
+    #[test]
+    fn formatting_smoke() {
+        let c = generators::supremacy(2, 2, 6, 0);
+        let pts = round_fidelity_sweep(&c, 4, &[0.95]).unwrap();
+        assert!(format_sweep(&pts).contains("fround"));
+        let pts = rounds_tradeoff(&c, 0.8, &[2]).unwrap();
+        assert!(format_tradeoff(&pts).contains("performed"));
+    }
+}

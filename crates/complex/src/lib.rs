@@ -1,0 +1,208 @@
+//! Complex arithmetic substrate for decision-diagram based quantum circuit
+//! simulation.
+//!
+//! Decision diagrams require *canonical* representations: two edge weights
+//! that are "the same number up to numerical noise" must be recognized as
+//! equal, otherwise structurally identical sub-diagrams are duplicated and
+//! the compression that makes DDs attractive evaporates. Following the
+//! implementation strategy of Zulehner, Hillmich and Wille ("How to
+//! efficiently handle complex values?", ICCAD 2019), this crate provides
+//!
+//! * [`Cplx`] — a plain `f64`-pair complex number with the full arithmetic
+//!   surface needed by a simulator,
+//! * [`Tolerance`] — tolerance-aware approximate equality, and
+//! * [`quantize`] and [`Tolerance::key`] — a tolerance-grid quantization
+//!   used to hash weights consistently with approximate equality.
+//!
+//! # Examples
+//!
+//! ```
+//! use approxdd_complex::{Cplx, Tolerance};
+//!
+//! let a = Cplx::new(1.0 / 2.0_f64.sqrt(), 0.0);
+//! let b = a * a;                       // 0.5 + 0i
+//! assert!(Tolerance::default().eq(b, Cplx::new(0.5, 0.0)));
+//! assert!((b.mag2() - 0.25).abs() < 1e-12);
+//! ```
+
+mod value;
+
+pub use value::Cplx;
+
+/// Default comparison tolerance used throughout the decision-diagram
+/// engine. The value mirrors the magnitude used by the reference C++
+/// implementation family (JKQ/MQT DDSIM).
+pub const DEFAULT_TOLERANCE: f64 = 1e-12;
+
+/// Tolerance-aware approximate comparison of real and complex values.
+///
+/// A [`Tolerance`] bundles the epsilon used for equality tests and for the
+/// quantization grid, so all comparisons in one decision-diagram package
+/// are mutually consistent.
+///
+/// # Examples
+///
+/// ```
+/// use approxdd_complex::{Cplx, Tolerance};
+///
+/// let tol = Tolerance::new(1e-9);
+/// assert!(tol.eq_real(1.0, 1.0 + 1e-10));
+/// assert!(!tol.eq_real(1.0, 1.0 + 1e-8));
+/// assert!(tol.is_zero(Cplx::new(1e-10, -1e-10)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    eps: f64,
+}
+
+impl Tolerance {
+    /// Creates a tolerance with the given epsilon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not finite and strictly positive.
+    #[must_use]
+    pub fn new(eps: f64) -> Self {
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "tolerance epsilon must be finite and positive, got {eps}"
+        );
+        Self { eps }
+    }
+
+    /// The epsilon of this tolerance.
+    #[must_use]
+    pub fn eps(self) -> f64 {
+        self.eps
+    }
+
+    /// Approximate equality of two real numbers: `|a - b| <= eps`.
+    #[must_use]
+    pub fn eq_real(self, a: f64, b: f64) -> bool {
+        (a - b).abs() <= self.eps
+    }
+
+    /// Approximate equality of two complex numbers (component-wise).
+    #[must_use]
+    pub fn eq(self, a: Cplx, b: Cplx) -> bool {
+        self.eq_real(a.re, b.re) && self.eq_real(a.im, b.im)
+    }
+
+    /// Whether a complex value is approximately zero (component-wise).
+    #[must_use]
+    pub fn is_zero(self, a: Cplx) -> bool {
+        a.re.abs() <= self.eps && a.im.abs() <= self.eps
+    }
+
+    /// Whether a complex value is approximately one.
+    #[must_use]
+    pub fn is_one(self, a: Cplx) -> bool {
+        self.eq(a, Cplx::ONE)
+    }
+
+    /// Quantizes a real value onto the tolerance grid, producing an integer
+    /// key such that values within one epsilon of each other land on the
+    /// same or adjacent grid points.
+    #[must_use]
+    pub fn quantize(self, x: f64) -> i64 {
+        quantize(x, self.eps)
+    }
+
+    /// A hashable key for a complex value, consistent with [`Tolerance::eq`]
+    /// up to grid-boundary effects: values that compare equal hash to the
+    /// same or to an adjacent key. The decision-diagram unique table uses
+    /// this as its hash component; boundary misses only cost deduplication
+    /// quality, never correctness.
+    #[must_use]
+    pub fn key(self, a: Cplx) -> (i64, i64) {
+        (self.quantize(a.re), self.quantize(a.im))
+    }
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self::new(DEFAULT_TOLERANCE)
+    }
+}
+
+/// Quantizes `x` onto a grid of pitch `2 * eps`, mapping near-equal values
+/// to identical integers (up to boundary effects).
+///
+/// The pitch is twice the epsilon so that two values within `eps` of each
+/// other differ by at most one grid step.
+#[must_use]
+pub fn quantize(x: f64, eps: f64) -> i64 {
+    let scaled = x / (2.0 * eps);
+    // Saturate rather than wrap for pathological magnitudes.
+    if scaled >= i64::MAX as f64 {
+        i64::MAX
+    } else if scaled <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        scaled.round() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_eq_real_symmetric() {
+        let t = Tolerance::new(1e-6);
+        assert!(t.eq_real(0.5, 0.5 + 5e-7));
+        assert!(t.eq_real(0.5 + 5e-7, 0.5));
+        assert!(!t.eq_real(0.5, 0.5 + 2e-6));
+    }
+
+    #[test]
+    fn tolerance_zero_detection() {
+        let t = Tolerance::default();
+        assert!(t.is_zero(Cplx::ZERO));
+        assert!(t.is_zero(Cplx::new(1e-13, 0.0)));
+        assert!(!t.is_zero(Cplx::new(1e-6, 0.0)));
+        assert!(!t.is_zero(Cplx::new(0.0, 1e-6)));
+    }
+
+    #[test]
+    fn tolerance_one_detection() {
+        let t = Tolerance::default();
+        assert!(t.is_one(Cplx::ONE));
+        assert!(t.is_one(Cplx::new(1.0 + 1e-13, -1e-13)));
+        assert!(!t.is_one(Cplx::new(1.0 + 1e-6, 0.0)));
+    }
+
+    #[test]
+    fn quantize_groups_close_values() {
+        let eps = 1e-9;
+        let a = quantize(0.123_456_789, eps);
+        let b = quantize(0.123_456_789 + 1e-10, eps);
+        assert!((a - b).abs() <= 1);
+    }
+
+    #[test]
+    fn quantize_separates_distant_values() {
+        let eps = 1e-9;
+        let a = quantize(0.1, eps);
+        let b = quantize(0.2, eps);
+        assert!((a - b).abs() > 1);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        assert_eq!(quantize(f64::MAX, 1e-12), i64::MAX);
+        assert_eq!(quantize(f64::MIN, 1e-12), i64::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance epsilon")]
+    fn tolerance_rejects_nonpositive() {
+        let _ = Tolerance::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance epsilon")]
+    fn tolerance_rejects_nan() {
+        let _ = Tolerance::new(f64::NAN);
+    }
+}

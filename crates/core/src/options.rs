@@ -1,0 +1,253 @@
+//! Simulation options and approximation strategies.
+
+use crate::error::SimError;
+
+/// The approximation strategy applied during simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Strategy {
+    /// No approximation: the reference simulation of the paper's
+    /// "Non-Approximating" columns.
+    Exact,
+    /// Section IV-B: after each applied gate, if the state DD exceeds
+    /// `node_threshold` nodes, truncate targeting `round_fidelity` and
+    /// grow the threshold (so the number of rounds stays bounded).
+    ///
+    /// The paper's text prescribes doubling (`threshold_growth = 2.0`,
+    /// the [`Strategy::memory_driven`] default), but its Table I reports
+    /// ~90 rounds on 20-qubit instances — unreachable under strict
+    /// doubling — so the effective growth of the reference
+    /// implementation must be much slower. `threshold_growth = 1.0`
+    /// (fixed threshold) reproduces that many-rounds regime and the
+    /// table's max-DD-size reductions.
+    MemoryDriven {
+        /// Initial node-count threshold.
+        node_threshold: usize,
+        /// Per-round target fidelity `f_round` in `(0, 1]`; each round
+        /// removes up to `1 − f_round` of contribution mass.
+        round_fidelity: f64,
+        /// Multiplicative threshold growth per round (≥ 1.0).
+        threshold_growth: f64,
+    },
+    /// Section IV-C: schedule `⌊log_{f_round} f_final⌋` rounds before
+    /// simulating, at circuit block markers or evenly spaced, so the
+    /// final fidelity is guaranteed to stay above `final_fidelity`.
+    FidelityDriven {
+        /// Required final fidelity `f_final` in `(0, 1]`.
+        final_fidelity: f64,
+        /// Per-round target fidelity `f_round` in `(0, 1)`.
+        round_fidelity: f64,
+    },
+}
+
+impl Strategy {
+    /// The paper's memory-driven configuration: the given threshold and
+    /// round fidelity with doubling threshold growth.
+    #[must_use]
+    pub fn memory_driven(node_threshold: usize, round_fidelity: f64) -> Self {
+        Strategy::MemoryDriven {
+            node_threshold,
+            round_fidelity,
+            threshold_growth: 2.0,
+        }
+    }
+
+    /// The paper's fidelity-driven configuration.
+    #[must_use]
+    pub fn fidelity_driven(final_fidelity: f64, round_fidelity: f64) -> Self {
+        Strategy::FidelityDriven {
+            final_fidelity,
+            round_fidelity,
+        }
+    }
+
+    /// Validates the strategy parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidStrategy`] when a fidelity is outside its
+    /// range or a threshold is zero.
+    pub fn validate(&self) -> Result<(), SimError> {
+        match *self {
+            Strategy::Exact => Ok(()),
+            Strategy::MemoryDriven {
+                node_threshold,
+                round_fidelity,
+                threshold_growth,
+            } => {
+                if node_threshold == 0 {
+                    return Err(SimError::InvalidStrategy {
+                        reason: "memory-driven node threshold must be positive",
+                    });
+                }
+                if !(0.0..=1.0).contains(&round_fidelity) || round_fidelity <= 0.0 {
+                    return Err(SimError::InvalidStrategy {
+                        reason: "round fidelity must lie in (0, 1]",
+                    });
+                }
+                if !(threshold_growth >= 1.0) || !threshold_growth.is_finite() {
+                    return Err(SimError::InvalidStrategy {
+                        reason: "threshold growth must be a finite factor >= 1.0",
+                    });
+                }
+                Ok(())
+            }
+            Strategy::FidelityDriven {
+                final_fidelity,
+                round_fidelity,
+            } => {
+                if !(final_fidelity > 0.0 && final_fidelity <= 1.0) {
+                    return Err(SimError::InvalidStrategy {
+                        reason: "final fidelity must lie in (0, 1]",
+                    });
+                }
+                if !(round_fidelity > 0.0 && round_fidelity < 1.0) {
+                    return Err(SimError::InvalidStrategy {
+                        reason: "round fidelity must lie in (0, 1)",
+                    });
+                }
+                if round_fidelity < final_fidelity {
+                    return Err(SimError::InvalidStrategy {
+                        reason: "round fidelity must not be below the final fidelity",
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The maximum number of approximation rounds the fidelity-driven
+    /// strategy may apply: `⌊log_{f_round}(f_final)⌋` (Sec. IV-C).
+    /// Returns 0 for other strategies.
+    #[must_use]
+    pub fn max_rounds(&self) -> usize {
+        match *self {
+            Strategy::FidelityDriven {
+                final_fidelity,
+                round_fidelity,
+            } => {
+                if final_fidelity >= 1.0 || round_fidelity >= 1.0 {
+                    0
+                } else {
+                    (final_fidelity.ln() / round_fidelity.ln()).floor() as usize
+                }
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// The truncation primitive a strategy's rounds use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ApproxPrimitive {
+    /// Remove whole nodes by ascending contribution (Sec. IV-A of the
+    /// paper; both of its strategies use this).
+    #[default]
+    Nodes,
+    /// Cut individual edges by ascending contribution — finer-grained,
+    /// usually keeping more fidelity per round at smaller size savings
+    /// (one of the ASP-DAC 2020 schemes the paper builds on).
+    Edges,
+}
+
+/// Options controlling a [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Approximation strategy (default: [`Strategy::Exact`]).
+    pub strategy: Strategy,
+    /// Which truncation primitive the rounds use (default: node
+    /// removal, as in the paper).
+    pub primitive: ApproxPrimitive,
+    /// Garbage-collect the package when its total alive node count
+    /// exceeds this value (default: 1 « 18).
+    pub gc_node_threshold: usize,
+    /// Record the DD size after every gate into
+    /// [`crate::SimStats::size_series`] (default: off; used by the
+    /// benchmark harness to regenerate size-over-time series).
+    pub record_size_series: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::Exact,
+            primitive: ApproxPrimitive::default(),
+            gc_node_threshold: 1 << 18,
+            record_size_series: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_always_validates() {
+        assert!(Strategy::Exact.validate().is_ok());
+        assert_eq!(Strategy::Exact.max_rounds(), 0);
+    }
+
+    #[test]
+    fn memory_driven_validation() {
+        assert!(Strategy::memory_driven(100, 0.95).validate().is_ok());
+        assert!(Strategy::memory_driven(0, 0.95).validate().is_err());
+        assert!(Strategy::memory_driven(10, 1.5).validate().is_err());
+        assert!(Strategy::MemoryDriven {
+            node_threshold: 10,
+            round_fidelity: 0.9,
+            threshold_growth: 0.5,
+        }
+        .validate()
+        .is_err());
+        assert!(Strategy::MemoryDriven {
+            node_threshold: 10,
+            round_fidelity: 0.9,
+            threshold_growth: 1.0,
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn fidelity_driven_round_count_matches_paper_formula() {
+        // Paper Sec. VI: f_final = 0.5, f_round = 0.9 -> floor(log_0.9 0.5)
+        // = floor(6.578) = 6 rounds.
+        let s = Strategy::FidelityDriven {
+            final_fidelity: 0.5,
+            round_fidelity: 0.9,
+        };
+        s.validate().unwrap();
+        assert_eq!(s.max_rounds(), 6);
+    }
+
+    #[test]
+    fn fidelity_driven_validation() {
+        assert!(Strategy::FidelityDriven {
+            final_fidelity: 0.0,
+            round_fidelity: 0.9
+        }
+        .validate()
+        .is_err());
+        assert!(Strategy::FidelityDriven {
+            final_fidelity: 0.9,
+            round_fidelity: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(Strategy::FidelityDriven {
+            final_fidelity: 0.5,
+            round_fidelity: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn default_options_are_exact() {
+        let o = SimOptions::default();
+        assert_eq!(o.strategy, Strategy::Exact);
+        assert!(!o.record_size_series);
+    }
+}

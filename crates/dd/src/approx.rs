@@ -1,0 +1,581 @@
+//! State truncation — Section IV-A of the paper, Equation (1).
+//!
+//! Truncation zeroes the amplitudes passing through a selected set of
+//! nodes and rescales the state to unit norm:
+//!
+//! ```text
+//! |ψ_I⟩ = P_I |ψ⟩ / ‖P_I |ψ⟩‖    with    P_I = Σ_{i ∈ I} |i⟩⟨i|
+//! ```
+//!
+//! Node selection is driven by contributions (Definition 2): removing a
+//! node loses exactly its contribution in fidelity, and removing a set
+//! loses **at most** the sum of their contributions (paths may overlap),
+//! so `F(ψ, ψ_I) ≥ 1 − Σ contribution(removed)` — the lower bound the
+//! user controls. The *exact* resulting fidelity falls out of the
+//! rebuild for free (the kept squared norm) and is reported in
+//! [`TruncationResult::fidelity`].
+
+use approxdd_complex::Cplx;
+
+use crate::contribution::ContributionMap;
+use crate::edge::{NodeId, VEdge};
+use crate::error::DdError;
+use crate::fasthash::FxHashMap;
+use crate::package::Package;
+use crate::Result;
+
+/// How to choose nodes for removal during a truncation round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum RemovalStrategy {
+    /// Greedily remove lowest-contribution nodes while the running sum of
+    /// removed contributions stays within the budget `1 − f_round`
+    /// (i.e. `Budget(b)` guarantees a round fidelity of at least `1 − b`).
+    Budget(f64),
+    /// Remove every node whose contribution is below the threshold.
+    /// The resulting fidelity is bounded below by
+    /// `1 − threshold · node_count`, which is only useful for small
+    /// thresholds; prefer [`RemovalStrategy::Budget`] for guarantees.
+    Threshold(f64),
+    /// Remove lowest-contribution nodes until at most this many nodes
+    /// would remain (size-targeted, fidelity-unbounded — the dual of
+    /// [`RemovalStrategy::Budget`]). The post-rebuild size can fall
+    /// below the target because removing a node also drops its
+    /// now-unreachable descendants. The root always survives.
+    KeepNodes(usize),
+}
+
+/// Outcome of one truncation round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncationResult {
+    /// The truncated, re-normalized state.
+    pub edge: VEdge,
+    /// Exact fidelity `F(ψ, ψ_I)` between input and output (the kept
+    /// squared norm). Always ≥ the strategy's guaranteed lower bound.
+    pub fidelity: f64,
+    /// Number of nodes selected for removal.
+    pub removed_nodes: usize,
+    /// Non-terminal node count of the input DD.
+    pub size_before: usize,
+    /// Non-terminal node count of the output DD.
+    pub size_after: usize,
+}
+
+impl Package {
+    /// Edge-level truncation: zeroes individual *edges* (rather than
+    /// whole nodes) in ascending order of their contribution — the
+    /// mass `upstream(parent) · |w|²` flowing through the edge — while
+    /// the removed total stays within `budget`. Finer-grained than
+    /// [`Package::truncate`]: a node's two edges can be kept/cut
+    /// independently, which preserves more fidelity per removed DD
+    /// path at the cost of (usually) smaller size reductions. One of
+    /// the approximation schemes of Zulehner, Hillmich, Markov, Wille
+    /// (ASP-DAC 2020), the primitive the reproduced paper builds on.
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::InvalidParameter`] as for [`Package::truncate`].
+    pub fn truncate_edges(&mut self, root: VEdge, budget: f64) -> Result<TruncationResult> {
+        if !(0.0..1.0).contains(&budget) {
+            return Err(DdError::InvalidParameter {
+                reason: "truncation budget must lie in [0, 1)",
+            });
+        }
+        if root.is_zero(self.tolerance()) {
+            return Err(DdError::InvalidParameter {
+                reason: "cannot truncate the zero state",
+            });
+        }
+        let contribs = self.contributions(root);
+        let size_before = contribs.node_count();
+
+        // Contribution of edge (parent, which): upstream(parent)·|w|²
+        // (child subtrees have unit norm).
+        let mut edges: Vec<(NodeId, u8, f64)> = Vec::new();
+        for (node, up) in contribs.iter() {
+            let n = *self.vnode(node);
+            for (i, e) in n.edges.iter().enumerate() {
+                if !e.is_zero(self.tolerance()) {
+                    edges.push((node, i as u8, up * e.w.mag2()));
+                }
+            }
+        }
+        edges.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(a.0.cmp(&b.0)));
+
+        let mut cut: FxHashMap<(NodeId, u8), ()> = FxHashMap::default();
+        let mut spent = 0.0;
+        for (node, which, c) in edges {
+            if spent + c > budget {
+                break;
+            }
+            spent += c;
+            cut.insert((node, which), ());
+        }
+        if cut.is_empty() {
+            return Ok(TruncationResult {
+                edge: root,
+                fidelity: 1.0,
+                removed_nodes: 0,
+                size_before,
+                size_after: size_before,
+            });
+        }
+
+        // Rebuild with cut edges zeroed. Memoization must key on the
+        // *path-relevant* identity of a node, which here is the node id
+        // itself (the cut set is per (node, edge) and applies on every
+        // path reaching the node).
+        let mut memo: FxHashMap<NodeId, VEdge> = FxHashMap::default();
+        let rebuilt = self.rebuild_cut_edges(root.node, &cut, &mut memo);
+        let kept = rebuilt.w.mag2();
+        if kept <= 0.0 || rebuilt.is_zero(self.tolerance()) {
+            return Err(DdError::InvalidParameter {
+                reason: "edge cut annihilates the entire state",
+            });
+        }
+        let fidelity = kept.min(1.0);
+        let edge = VEdge {
+            w: root.w * rebuilt.w / Cplx::real(kept.sqrt()),
+            node: rebuilt.node,
+        };
+        let size_after = self.vsize(edge);
+        Ok(TruncationResult {
+            edge,
+            fidelity,
+            removed_nodes: cut.len(),
+            size_before,
+            size_after,
+        })
+    }
+
+    fn rebuild_cut_edges(
+        &mut self,
+        node: NodeId,
+        cut: &FxHashMap<(NodeId, u8), ()>,
+        memo: &mut FxHashMap<NodeId, VEdge>,
+    ) -> VEdge {
+        if node.is_terminal() {
+            return VEdge::ONE;
+        }
+        if let Some(&e) = memo.get(&node) {
+            return e;
+        }
+        let n = *self.vnode(node);
+        let mut children = [VEdge::ZERO; 2];
+        for (i, c) in n.edges.iter().enumerate() {
+            if c.is_zero(self.tolerance()) || cut.contains_key(&(node, i as u8)) {
+                continue;
+            }
+            let sub = self.rebuild_cut_edges(c.node, cut, memo);
+            children[i] = sub.scaled(c.w);
+        }
+        let e = self.make_vnode(n.var, children[0], children[1]);
+        memo.insert(node, e);
+        e
+    }
+
+    /// Performs one truncation round on a unit-norm state.
+    ///
+    /// Computes contributions, selects nodes per `strategy`, rebuilds the
+    /// DD with selected nodes replaced by the zero stub, and rescales to
+    /// unit norm (Equation 1). If nothing is selected the input is
+    /// returned unchanged with fidelity 1.
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::InvalidParameter`] if the budget/threshold is not in
+    /// `[0, 1)`, or if the input is the zero edge.
+    pub fn truncate(&mut self, root: VEdge, strategy: RemovalStrategy) -> Result<TruncationResult> {
+        match strategy {
+            RemovalStrategy::Budget(b) if !(0.0..1.0).contains(&b) => {
+                return Err(DdError::InvalidParameter {
+                    reason: "truncation budget must lie in [0, 1)",
+                });
+            }
+            RemovalStrategy::Threshold(t) if !(0.0..1.0).contains(&t) => {
+                return Err(DdError::InvalidParameter {
+                    reason: "truncation threshold must lie in [0, 1)",
+                });
+            }
+            RemovalStrategy::KeepNodes(k) if k == 0 => {
+                return Err(DdError::InvalidParameter {
+                    reason: "must keep at least one node",
+                });
+            }
+            _ => {}
+        }
+        if root.is_zero(self.tolerance()) {
+            return Err(DdError::InvalidParameter {
+                reason: "cannot truncate the zero state",
+            });
+        }
+        let contribs = self.contributions(root);
+        let removal = select_nodes(&contribs, root.node, strategy);
+        self.truncate_with_set(root, &contribs, &removal)
+    }
+
+    /// Performs one truncation round removing exactly the given node set
+    /// (which must not contain the root). Exposed for custom selection
+    /// policies and for the test-suite.
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::InvalidParameter`] if the set contains the root or if
+    /// removal would annihilate the entire state.
+    pub fn truncate_nodes(
+        &mut self,
+        root: VEdge,
+        nodes: &[NodeId],
+    ) -> Result<TruncationResult> {
+        let contribs = self.contributions(root);
+        let set: FxHashMap<NodeId, ()> = nodes.iter().map(|n| (*n, ())).collect();
+        if set.contains_key(&root.node) {
+            return Err(DdError::InvalidParameter {
+                reason: "cannot remove the root node",
+            });
+        }
+        self.truncate_with_set(root, &contribs, &set)
+    }
+
+    fn truncate_with_set(
+        &mut self,
+        root: VEdge,
+        contribs: &ContributionMap,
+        removal: &FxHashMap<NodeId, ()>,
+    ) -> Result<TruncationResult> {
+        let size_before = contribs.node_count();
+        if removal.is_empty() {
+            return Ok(TruncationResult {
+                edge: root,
+                fidelity: 1.0,
+                removed_nodes: 0,
+                size_before,
+                size_after: size_before,
+            });
+        }
+
+        let mut memo: FxHashMap<NodeId, VEdge> = FxHashMap::default();
+        let rebuilt = self.rebuild_without(root.node, removal, &mut memo);
+        // Kept squared norm = |rebuilt.w|² (the input subtree had unit
+        // norm); this *is* the exact round fidelity.
+        let kept = rebuilt.w.mag2();
+        if kept <= 0.0 || rebuilt.is_zero(self.tolerance()) {
+            return Err(DdError::InvalidParameter {
+                reason: "removal set annihilates the entire state",
+            });
+        }
+        let fidelity = kept.min(1.0);
+        // Rescale to unit norm, preserving the phase of the original root
+        // weight (Equation 1 rescales by the positive real norm).
+        let new_w = root.w * rebuilt.w / Cplx::real(kept.sqrt());
+        let edge = VEdge {
+            w: new_w,
+            node: rebuilt.node,
+        };
+        let size_after = self.vsize(edge);
+        Ok(TruncationResult {
+            edge,
+            fidelity,
+            removed_nodes: removal.len(),
+            size_before,
+            size_after,
+        })
+    }
+
+    fn rebuild_without(
+        &mut self,
+        node: NodeId,
+        removal: &FxHashMap<NodeId, ()>,
+        memo: &mut FxHashMap<NodeId, VEdge>,
+    ) -> VEdge {
+        if node.is_terminal() {
+            return VEdge::ONE;
+        }
+        if removal.contains_key(&node) {
+            return VEdge::ZERO;
+        }
+        if let Some(&e) = memo.get(&node) {
+            return e;
+        }
+        let n = *self.vnode(node);
+        let mut children = [VEdge::ZERO; 2];
+        for (i, c) in n.edges.iter().enumerate() {
+            if c.is_zero(self.tolerance()) {
+                continue;
+            }
+            let sub = self.rebuild_without(c.node, removal, memo);
+            children[i] = sub.scaled(c.w);
+        }
+        let e = self.make_vnode(n.var, children[0], children[1]);
+        memo.insert(node, e);
+        e
+    }
+}
+
+/// Selects nodes according to the strategy; never selects the root.
+fn select_nodes(
+    contribs: &ContributionMap,
+    root: NodeId,
+    strategy: RemovalStrategy,
+) -> FxHashMap<NodeId, ()> {
+    let mut set: FxHashMap<NodeId, ()> = FxHashMap::default();
+    match strategy {
+        RemovalStrategy::Budget(budget) => {
+            let mut spent = 0.0;
+            for (node, c) in contribs.sorted_ascending() {
+                if node == root {
+                    continue;
+                }
+                if spent + c > budget {
+                    break;
+                }
+                spent += c;
+                set.insert(node, ());
+            }
+        }
+        RemovalStrategy::Threshold(t) => {
+            for (node, c) in contribs.iter() {
+                if node != root && c < t {
+                    set.insert(node, ());
+                }
+            }
+        }
+        RemovalStrategy::KeepNodes(target) => {
+            let total = contribs.node_count();
+            if total > target {
+                let mut to_remove = total - target;
+                for (node, _) in contribs.sorted_ascending() {
+                    if to_remove == 0 {
+                        break;
+                    }
+                    if node == root {
+                        continue;
+                    }
+                    set.insert(node, ());
+                    to_remove -= 1;
+                }
+            }
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 1a state of the paper.
+    fn paper_state(p: &mut Package) -> VEdge {
+        let s = 10f64.sqrt().recip();
+        let amps = [s, 0.0, 0.0, -s, 0.0, 2.0 * s, 0.0, 2.0 * s].map(Cplx::real);
+        p.from_amplitudes(&amps).unwrap()
+    }
+
+    #[test]
+    fn paper_example8_removing_left_q1_node() {
+        // Removing the q1 node with contribution 0.2 yields the Fig. 1c/d
+        // state (|101> + |111>)/√2 with fidelity 0.8.
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        let cm = p.contributions(root);
+        let victim = cm
+            .level(1)
+            .iter()
+            .copied()
+            .find(|n| (cm.contribution(*n) - 0.2).abs() < 1e-9)
+            .expect("left q1 node with contribution 0.2");
+        let r = p.truncate_nodes(root, &[victim]).unwrap();
+        assert!((r.fidelity - 0.8).abs() < 1e-12);
+        let amps = p.to_amplitudes(r.edge, 3).unwrap();
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((amps[0b101].mag() - inv_sqrt2).abs() < 1e-12);
+        assert!((amps[0b111].mag() - inv_sqrt2).abs() < 1e-12);
+        for i in [0usize, 1, 2, 3, 4, 6] {
+            assert!(amps[i].mag2() < 1e-12, "amp {i} should be zeroed");
+        }
+        assert!(r.size_after < r.size_before);
+    }
+
+    #[test]
+    fn budget_guarantees_fidelity_lower_bound() {
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        for budget in [0.0, 0.05, 0.1, 0.25, 0.5] {
+            let r = p.truncate(root, RemovalStrategy::Budget(budget)).unwrap();
+            assert!(
+                r.fidelity >= 1.0 - budget - 1e-12,
+                "budget {budget}: fidelity {} below bound",
+                r.fidelity
+            );
+            // The output is unit norm.
+            assert!((r.edge.w.mag() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn truncated_state_fidelity_matches_inner_product() {
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        p.inc_ref(root);
+        let r = p.truncate(root, RemovalStrategy::Budget(0.25)).unwrap();
+        let measured = p.fidelity(root, r.edge);
+        assert!(
+            (measured - r.fidelity).abs() < 1e-10,
+            "reported {} vs measured {}",
+            r.fidelity,
+            measured
+        );
+    }
+
+    #[test]
+    fn zero_budget_is_identity() {
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        let r = p.truncate(root, RemovalStrategy::Budget(0.0)).unwrap();
+        assert_eq!(r.edge, root);
+        assert_eq!(r.fidelity, 1.0);
+        assert_eq!(r.removed_nodes, 0);
+    }
+
+    #[test]
+    fn threshold_removes_small_nodes() {
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        // Threshold 0.15 removes the 0.1-contribution q0 nodes and the
+        // 0.2-node's children chain — fidelity drops to 0.8.
+        let r = p.truncate(root, RemovalStrategy::Threshold(0.15)).unwrap();
+        assert!(r.fidelity >= 0.5);
+        assert!(r.removed_nodes >= 1);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        assert!(p.truncate(root, RemovalStrategy::Budget(1.0)).is_err());
+        assert!(p.truncate(root, RemovalStrategy::Budget(-0.1)).is_err());
+        assert!(p.truncate(root, RemovalStrategy::KeepNodes(0)).is_err());
+        assert!(p
+            .truncate(VEdge::ZERO, RemovalStrategy::Budget(0.1))
+            .is_err());
+    }
+
+    #[test]
+    fn keep_nodes_hits_the_size_target() {
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        let before = p.vsize(root);
+        assert!(before > 3);
+        let r = p.truncate(root, RemovalStrategy::KeepNodes(3)).unwrap();
+        assert!(r.size_after <= 3, "kept {} nodes", r.size_after);
+        assert!(r.fidelity > 0.0);
+        assert!((r.edge.w.mag() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn keep_nodes_is_identity_when_already_small() {
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        let before = p.vsize(root);
+        let r = p
+            .truncate(root, RemovalStrategy::KeepNodes(before + 10))
+            .unwrap();
+        assert_eq!(r.edge, root);
+        assert_eq!(r.fidelity, 1.0);
+    }
+
+    #[test]
+    fn cannot_remove_root() {
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        assert!(p.truncate_nodes(root, &[root.node]).is_err());
+    }
+
+    #[test]
+    fn edge_truncation_honors_budget_and_matches_measured_fidelity() {
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        p.inc_ref(root);
+        for budget in [0.05, 0.1, 0.25] {
+            let r = p.truncate_edges(root, budget).unwrap();
+            assert!(
+                r.fidelity >= 1.0 - budget - 1e-12,
+                "budget {budget}: fidelity {}",
+                r.fidelity
+            );
+            let measured = p.fidelity(root, r.edge);
+            assert!((measured - r.fidelity).abs() < 1e-10);
+            assert!((r.edge.w.mag() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn edge_truncation_is_finer_than_node_truncation() {
+        // On the paper state with budget 0.1 the node strategy can only
+        // remove 0.1-contribution *nodes* (zeroing both amplitudes of a
+        // branch); the edge strategy can cut a single 0.1-mass edge.
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        p.inc_ref(root);
+        // Budget slightly above 0.1: the smallest edge contribution is
+        // 0.2 · 0.5 = 0.1 + float noise.
+        let edge_r = p.truncate_edges(root, 0.11).unwrap();
+        assert!(edge_r.removed_nodes >= 1, "at least one edge cut");
+        assert!(edge_r.fidelity >= 0.89 - 1e-12);
+    }
+
+    #[test]
+    fn edge_truncation_rejects_bad_budgets() {
+        let mut p = Package::new();
+        let root = paper_state(&mut p);
+        assert!(p.truncate_edges(root, 1.0).is_err());
+        assert!(p.truncate_edges(root, -0.5).is_err());
+        assert!(p.truncate_edges(VEdge::ZERO, 0.1).is_err());
+    }
+
+    #[test]
+    fn lemma1_multiplicativity_of_successive_truncations() {
+        // Lemma 1 / Example 6 of the paper: for chained truncations,
+        // F(ψ, ψ'') = F(ψ, ψ') · F(ψ', ψ'').
+        let mut p = Package::new();
+        // Eight amplitudes with distinct pair ratios, so every level-0
+        // node is distinct and removable without annihilating the state.
+        let raw = [0.1, 0.7, 0.5, 0.45, 0.9, 0.2, 0.3, 0.65];
+        let norm: f64 = raw.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let amps: Vec<Cplx> = raw.iter().map(|x| Cplx::real(x / norm)).collect();
+        let psi = p.from_amplitudes(&amps).unwrap();
+        p.inc_ref(psi);
+
+        // Round 1: remove the lowest-contribution level-0 node -> |ψ'>.
+        let cm = p.contributions(psi);
+        let victim = *cm
+            .level(0)
+            .iter()
+            .min_by(|a, b| cm.contribution(**a).partial_cmp(&cm.contribution(**b)).unwrap())
+            .unwrap();
+        let r1 = p.truncate_nodes(psi, &[victim]).unwrap();
+        p.inc_ref(r1.edge);
+        assert!(r1.fidelity < 1.0);
+
+        // Round 2: remove the lowest-contribution level-0 node of |ψ'>.
+        let cm2 = p.contributions(r1.edge);
+        let victim2 = *cm2
+            .level(0)
+            .iter()
+            .min_by(|a, b| {
+                cm2.contribution(**a)
+                    .partial_cmp(&cm2.contribution(**b))
+                    .unwrap()
+            })
+            .unwrap();
+        let r2 = p.truncate_nodes(r1.edge, &[victim2]).unwrap();
+        assert!(r2.fidelity < 1.0);
+
+        let f_total = p.fidelity(psi, r2.edge);
+        let f_rounds = r1.fidelity * r2.fidelity;
+        assert!(
+            (f_total - f_rounds).abs() < 1e-10,
+            "Lemma 1 violated: total {f_total} vs product {f_rounds}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for the decision-diagram engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`crate::Package`] operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DdError {
+    /// A qubit index was out of range for the given register width.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The register width.
+        n_qubits: usize,
+    },
+    /// The register width exceeds what the engine supports (255 qubits,
+    /// or 63 for dense/basis-index operations).
+    TooManyQubits {
+        /// Requested width.
+        n_qubits: usize,
+        /// Supported maximum for the attempted operation.
+        max: usize,
+    },
+    /// An amplitude slice had a length that is not a power of two, or was
+    /// (numerically) all-zero where a quantum state was required.
+    InvalidAmplitudes {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Two operands act on different register widths / levels.
+    DimensionMismatch {
+        /// Level of the left operand.
+        left: usize,
+        /// Level of the right operand.
+        right: usize,
+    },
+    /// A dense matrix block had the wrong number of entries.
+    InvalidMatrix {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A permutation table was not a bijection on its domain.
+    InvalidPermutation,
+    /// A gate's control and target qubits overlap.
+    OverlappingQubits,
+    /// An approximation parameter was outside its valid range.
+    InvalidParameter {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+            }
+            DdError::TooManyQubits { n_qubits, max } => {
+                write!(f, "{n_qubits} qubits exceed the supported maximum of {max}")
+            }
+            DdError::InvalidAmplitudes { reason } => {
+                write!(f, "invalid amplitude vector: {reason}")
+            }
+            DdError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: level {left} vs level {right}")
+            }
+            DdError::InvalidMatrix { reason } => write!(f, "invalid matrix block: {reason}"),
+            DdError::InvalidPermutation => write!(f, "permutation table is not a bijection"),
+            DdError::OverlappingQubits => write!(f, "control and target qubits overlap"),
+            DdError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for DdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DdError::QubitOutOfRange {
+            qubit: 7,
+            n_qubits: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("qubit 7"));
+        assert!(s.contains("3-qubit"));
+
+        let e = DdError::TooManyQubits {
+            n_qubits: 300,
+            max: 255,
+        };
+        assert!(e.to_string().contains("300"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DdError>();
+    }
+}

@@ -1,0 +1,29 @@
+//! In-arena node representations.
+
+use crate::edge::{MEdge, VEdge};
+
+/// A vector-DD node: a qubit level and two successor edges.
+///
+/// `edges[0]` is the sub-vector where this node's qubit is `|0⟩`,
+/// `edges[1]` where it is `|1⟩`. Normalization guarantees
+/// `|w0|² + |w1|² = 1` with canonical phase, so the function represented
+/// by a node (top weight 1) always has unit ℓ2 norm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct VNode {
+    /// Qubit level; 0 is the least-significant qubit, directly above the
+    /// terminal.
+    pub var: u8,
+    /// Successor edges for qubit value 0 and 1.
+    pub edges: [VEdge; 2],
+}
+
+/// A matrix-DD node: a qubit level and four successor edges in row-major
+/// quadrant order `[M00, M01, M10, M11]` (row = output bit, column =
+/// input bit of this node's qubit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct MNode {
+    /// Qubit level; 0 is the least-significant qubit.
+    pub var: u8,
+    /// Quadrant successor edges `[e00, e01, e10, e11]`.
+    pub edges: [MEdge; 4],
+}

@@ -1,0 +1,520 @@
+//! Decision-diagram arithmetic: addition, matrix–vector and
+//! matrix–matrix multiplication, inner products, Kronecker products and
+//! conjugate transposition.
+//!
+//! All operations are memoized in the package's compute tables. Top edge
+//! weights are factored out of cache keys wherever the operation is
+//! multilinear, which maximizes hit rates (the standard QMDD trick).
+
+use approxdd_complex::Cplx;
+
+use crate::edge::{MEdge, NodeId, VEdge};
+use crate::fasthash::FxHashMap;
+use crate::package::Package;
+
+impl Package {
+    // ------------------------------------------------------------------
+    // addition
+    // ------------------------------------------------------------------
+
+    /// Adds two state DDs of the same level: `|r⟩ = |a⟩ + |b⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the operands' levels differ (zero stubs are
+    /// level-agnostic and always fine).
+    #[must_use]
+    pub fn add(&mut self, a: VEdge, b: VEdge) -> VEdge {
+        if a.is_zero(self.tolerance()) {
+            return b;
+        }
+        if b.is_zero(self.tolerance()) {
+            return a;
+        }
+        if a.node.is_terminal() && b.node.is_terminal() {
+            let w = a.w + b.w;
+            return if self.tolerance().is_zero(w) {
+                VEdge::ZERO
+            } else {
+                VEdge::terminal(w)
+            };
+        }
+        debug_assert_eq!(self.vlevel(a), self.vlevel(b), "add level mismatch");
+
+        // Same node: amplitudes are proportional, just add the weights.
+        if a.node == b.node {
+            let w = a.w + b.w;
+            return if self.tolerance().is_zero(w) {
+                VEdge::ZERO
+            } else {
+                VEdge { w, node: a.node }
+            };
+        }
+
+        // Canonical operand order for the symmetric cache: larger weight
+        // magnitude first (numerical stability of the ratio), ties broken
+        // by node id.
+        let (a, b) = if (a.w.mag2(), a.node.0) >= (b.w.mag2(), b.node.0) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let ratio = b.w / a.w;
+        let rk = self.tolerance().key(ratio);
+        let key = (a.node.0, b.node.0, rk.0, rk.1);
+        if let Some(&cached) = self.ct_add.get(&key) {
+            self.note_ct_hit();
+            return cached.scaled(a.w);
+        }
+        self.note_ct_miss();
+
+        let an = *self.vnode(a.node);
+        let bn = *self.vnode(b.node);
+        let r0 = self.add(an.edges[0], bn.edges[0].scaled(ratio));
+        let r1 = self.add(an.edges[1], bn.edges[1].scaled(ratio));
+        let res = self.make_vnode(an.var, r0, r1);
+        self.ct_add.insert(key, res);
+        self.trim_compute_tables();
+        res.scaled(a.w)
+    }
+
+    // ------------------------------------------------------------------
+    // matrix–vector multiplication (gate application)
+    // ------------------------------------------------------------------
+
+    /// Applies an operation DD to a state DD: `|r⟩ = M · |v⟩`.
+    ///
+    /// This is the simulation step of Section II/IV-A: one call per gate.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the operands' levels differ.
+    #[must_use]
+    pub fn apply(&mut self, m: MEdge, v: VEdge) -> VEdge {
+        self.mul_mv(m, v)
+    }
+
+    /// Matrix–vector product (see [`Package::apply`]).
+    #[must_use]
+    pub fn mul_mv(&mut self, m: MEdge, v: VEdge) -> VEdge {
+        if m.is_zero(self.tolerance()) || v.is_zero(self.tolerance()) {
+            return VEdge::ZERO;
+        }
+        if m.node.is_terminal() && v.node.is_terminal() {
+            return VEdge::terminal(m.w * v.w);
+        }
+        debug_assert_eq!(self.mlevel(m), self.vlevel(v), "mul level mismatch");
+
+        let key = (m.node.0, v.node.0);
+        if let Some(&cached) = self.ct_mul_mv.get(&key) {
+            self.note_ct_hit();
+            return cached.scaled(m.w * v.w);
+        }
+        self.note_ct_miss();
+
+        let mn = *self.mnode(m.node);
+        let vn = *self.vnode(v.node);
+        // r0 = M00·v0 + M01·v1 ; r1 = M10·v0 + M11·v1
+        let p00 = self.mul_mv(mn.edges[0], vn.edges[0]);
+        let p01 = self.mul_mv(mn.edges[1], vn.edges[1]);
+        let r0 = self.add(p00, p01);
+        let p10 = self.mul_mv(mn.edges[2], vn.edges[0]);
+        let p11 = self.mul_mv(mn.edges[3], vn.edges[1]);
+        let r1 = self.add(p10, p11);
+        let res = self.make_vnode(mn.var, r0, r1);
+        self.ct_mul_mv.insert(key, res);
+        self.trim_compute_tables();
+        res.scaled(m.w * v.w)
+    }
+
+    // ------------------------------------------------------------------
+    // matrix–matrix multiplication (gate fusion)
+    // ------------------------------------------------------------------
+
+    /// Matrix–matrix product `A · B` (apply `B` first, then `A`).
+    ///
+    /// Useful for fusing gate sequences into a single operation DD, the
+    /// technique explored in Zulehner & Wille, DATE 2019 ("matrix-vector
+    /// vs. matrix-matrix multiplication"), which the paper's Shor
+    /// benchmarks build on.
+    #[must_use]
+    pub fn mul_mm(&mut self, a: MEdge, b: MEdge) -> MEdge {
+        if a.is_zero(self.tolerance()) || b.is_zero(self.tolerance()) {
+            return MEdge::ZERO;
+        }
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return MEdge::terminal(a.w * b.w);
+        }
+        debug_assert_eq!(self.mlevel(a), self.mlevel(b), "mul_mm level mismatch");
+
+        let key = (a.node.0, b.node.0);
+        if let Some(&cached) = self.ct_mul_mm.get(&key) {
+            self.note_ct_hit();
+            return cached.scaled(a.w * b.w);
+        }
+        self.note_ct_miss();
+
+        let an = *self.mnode(a.node);
+        let bn = *self.mnode(b.node);
+        let mut quads = [MEdge::ZERO; 4];
+        for (i, q) in quads.iter_mut().enumerate() {
+            let row = i >> 1;
+            let col = i & 1;
+            // C[row][col] = sum_k A[row][k] * B[k][col]
+            let t0 = self.mul_mm(an.edges[row << 1], bn.edges[col]);
+            let t1 = self.mul_mm(an.edges[(row << 1) | 1], bn.edges[(1 << 1) | col]);
+            *q = self.madd(t0, t1);
+        }
+        let res = self.make_mnode(an.var, quads);
+        self.ct_mul_mm.insert(key, res);
+        self.trim_compute_tables();
+        res.scaled(a.w * b.w)
+    }
+
+    /// Adds two matrix DDs of the same level (no dedicated cache: used
+    /// only inside matrix–matrix multiplication and tests).
+    #[must_use]
+    pub fn madd(&mut self, a: MEdge, b: MEdge) -> MEdge {
+        if a.is_zero(self.tolerance()) {
+            return b;
+        }
+        if b.is_zero(self.tolerance()) {
+            return a;
+        }
+        if a.node.is_terminal() && b.node.is_terminal() {
+            let w = a.w + b.w;
+            return if self.tolerance().is_zero(w) {
+                MEdge::ZERO
+            } else {
+                MEdge::terminal(w)
+            };
+        }
+        debug_assert_eq!(self.mlevel(a), self.mlevel(b), "madd level mismatch");
+        if a.node == b.node {
+            let w = a.w + b.w;
+            return if self.tolerance().is_zero(w) {
+                MEdge::ZERO
+            } else {
+                MEdge { w, node: a.node }
+            };
+        }
+        let an = *self.mnode(a.node);
+        let bn = *self.mnode(b.node);
+        let mut quads = [MEdge::ZERO; 4];
+        for i in 0..4 {
+            quads[i] = self.madd(an.edges[i].scaled(a.w), bn.edges[i].scaled(b.w));
+        }
+        self.make_mnode(an.var, quads)
+    }
+
+    // ------------------------------------------------------------------
+    // inner products & fidelity
+    // ------------------------------------------------------------------
+
+    /// The Hermitian inner product `⟨a|b⟩ = Σ_i conj(a_i) · b_i`.
+    #[must_use]
+    pub fn inner_product(&mut self, a: VEdge, b: VEdge) -> Cplx {
+        if a.is_zero(self.tolerance()) || b.is_zero(self.tolerance()) {
+            return Cplx::ZERO;
+        }
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return a.w.conj() * b.w;
+        }
+        debug_assert_eq!(self.vlevel(a), self.vlevel(b), "inner level mismatch");
+
+        let key = (a.node.0, b.node.0);
+        if let Some(&cached) = self.ct_inner.get(&key) {
+            self.note_ct_hit();
+            return a.w.conj() * b.w * cached;
+        }
+        self.note_ct_miss();
+
+        let an = *self.vnode(a.node);
+        let bn = *self.vnode(b.node);
+        let i0 = self.inner_product(an.edges[0], bn.edges[0]);
+        let i1 = self.inner_product(an.edges[1], bn.edges[1]);
+        let sum = i0 + i1;
+        self.ct_inner.insert(key, sum);
+        self.trim_compute_tables();
+        a.w.conj() * b.w * sum
+    }
+
+    /// Fidelity `F(a, b) = |⟨a|b⟩|²` between two pure states
+    /// (Definition 1 of the paper).
+    #[must_use]
+    pub fn fidelity(&mut self, a: VEdge, b: VEdge) -> f64 {
+        self.inner_product(a, b).mag2()
+    }
+
+    // ------------------------------------------------------------------
+    // Kronecker products
+    // ------------------------------------------------------------------
+
+    /// Kronecker product of two state DDs: `top ⊗ bottom`, with `bottom`
+    /// occupying the low qubits. The result's level is the sum of the
+    /// operands' levels.
+    #[must_use]
+    pub fn vkron(&mut self, top: VEdge, bottom: VEdge) -> VEdge {
+        if top.is_zero(self.tolerance()) || bottom.is_zero(self.tolerance()) {
+            return VEdge::ZERO;
+        }
+        let shift = self.vlevel(bottom) as u8;
+        let mut memo: FxHashMap<NodeId, VEdge> = FxHashMap::default();
+        let rebuilt = self.vkron_rec(top.node, bottom, shift, &mut memo);
+        rebuilt.scaled(top.w)
+    }
+
+    fn vkron_rec(
+        &mut self,
+        node: NodeId,
+        bottom: VEdge,
+        shift: u8,
+        memo: &mut FxHashMap<NodeId, VEdge>,
+    ) -> VEdge {
+        if node.is_terminal() {
+            return bottom;
+        }
+        if let Some(&e) = memo.get(&node) {
+            return e;
+        }
+        let n = *self.vnode(node);
+        let mut children = [VEdge::ZERO; 2];
+        for (i, c) in n.edges.iter().enumerate() {
+            if c.is_zero(self.tolerance()) {
+                continue;
+            }
+            let sub = self.vkron_rec(c.node, bottom, shift, memo);
+            children[i] = sub.scaled(c.w);
+        }
+        let e = self.make_vnode(n.var + shift, children[0], children[1]);
+        memo.insert(node, e);
+        e
+    }
+
+    /// Kronecker product of two operation DDs: `top ⊗ bottom`.
+    #[must_use]
+    pub fn mkron(&mut self, top: MEdge, bottom: MEdge) -> MEdge {
+        if top.is_zero(self.tolerance()) || bottom.is_zero(self.tolerance()) {
+            return MEdge::ZERO;
+        }
+        let shift = self.mlevel(bottom) as u8;
+        let mut memo: FxHashMap<NodeId, MEdge> = FxHashMap::default();
+        let rebuilt = self.mkron_rec(top.node, bottom, shift, &mut memo);
+        rebuilt.scaled(top.w)
+    }
+
+    fn mkron_rec(
+        &mut self,
+        node: NodeId,
+        bottom: MEdge,
+        shift: u8,
+        memo: &mut FxHashMap<NodeId, MEdge>,
+    ) -> MEdge {
+        if node.is_terminal() {
+            return bottom;
+        }
+        if let Some(&e) = memo.get(&node) {
+            return e;
+        }
+        let n = *self.mnode(node);
+        let mut children = [MEdge::ZERO; 4];
+        for (i, c) in n.edges.iter().enumerate() {
+            if c.is_zero(self.tolerance()) {
+                continue;
+            }
+            let sub = self.mkron_rec(c.node, bottom, shift, memo);
+            children[i] = sub.scaled(c.w);
+        }
+        let e = self.make_mnode(n.var + shift, children);
+        memo.insert(node, e);
+        e
+    }
+
+    // ------------------------------------------------------------------
+    // conjugate transpose
+    // ------------------------------------------------------------------
+
+    /// Conjugate transpose `M†` of an operation DD. `U · U† = I` for a
+    /// unitary `U`, which the test-suite uses as a gate-builder oracle.
+    #[must_use]
+    pub fn conj_transpose(&mut self, m: MEdge) -> MEdge {
+        let mut memo: FxHashMap<NodeId, MEdge> = FxHashMap::default();
+        let rebuilt = self.conj_transpose_rec(m.node, &mut memo);
+        rebuilt.scaled(m.w.conj())
+    }
+
+    fn conj_transpose_rec(
+        &mut self,
+        node: NodeId,
+        memo: &mut FxHashMap<NodeId, MEdge>,
+    ) -> MEdge {
+        if node.is_terminal() {
+            return MEdge::ONE;
+        }
+        if let Some(&e) = memo.get(&node) {
+            return e;
+        }
+        let n = *self.mnode(node);
+        // Transpose swaps the off-diagonal quadrants; conjugation applies
+        // to every weight.
+        let order = [0usize, 2, 1, 3];
+        let mut children = [MEdge::ZERO; 4];
+        for (i, &src) in order.iter().enumerate() {
+            let c = n.edges[src];
+            if c.is_zero(self.tolerance()) {
+                continue;
+            }
+            let sub = self.conj_transpose_rec(c.node, memo);
+            children[i] = sub.scaled(c.w.conj());
+        }
+        let e = self.make_mnode(n.var, children);
+        memo.insert(node, e);
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::GateKind;
+
+    fn close(a: Cplx, b: Cplx) -> bool {
+        (a - b).mag() < 1e-10
+    }
+
+    #[test]
+    fn add_is_commutative_and_matches_dense() {
+        let mut p = Package::new();
+        let a_amps = [
+            Cplx::new(0.1, 0.0),
+            Cplx::new(0.2, 0.1),
+            Cplx::new(0.0, -0.3),
+            Cplx::new(0.4, 0.0),
+        ];
+        let b_amps = [
+            Cplx::new(-0.1, 0.2),
+            Cplx::new(0.0, 0.0),
+            Cplx::new(0.3, 0.3),
+            Cplx::new(0.1, -0.1),
+        ];
+        let a = p.from_amplitudes(&a_amps).unwrap();
+        let b = p.from_amplitudes(&b_amps).unwrap();
+        let ab = p.add(a, b);
+        let ba = p.add(b, a);
+        let dense_ab = p.to_amplitudes(ab, 2).unwrap();
+        let dense_ba = p.to_amplitudes(ba, 2).unwrap();
+        for i in 0..4 {
+            let want = a_amps[i] + b_amps[i];
+            assert!(close(dense_ab[i], want));
+            assert!(close(dense_ba[i], want));
+        }
+    }
+
+    #[test]
+    fn add_with_zero_is_identity() {
+        let mut p = Package::new();
+        let a = p.basis_state(3, 5);
+        let sum = p.add(a, VEdge::ZERO);
+        assert_eq!(sum, a);
+        let sum = p.add(VEdge::ZERO, a);
+        assert_eq!(sum, a);
+    }
+
+    #[test]
+    fn add_cancels_to_zero() {
+        let mut p = Package::new();
+        let a = p.basis_state(2, 1);
+        let neg = a.scaled(Cplx::new(-1.0, 0.0));
+        let sum = p.add(a, neg);
+        assert!(sum.is_zero(p.tolerance()));
+    }
+
+    #[test]
+    fn apply_identity_preserves_state() {
+        let mut p = Package::new();
+        let v = p.basis_state(3, 6);
+        let id = p.identity(3);
+        let r = p.apply(id, v);
+        assert!((p.fidelity(r, v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_twice_is_identity() {
+        let mut p = Package::new();
+        let v = p.basis_state(2, 2);
+        let h = p.single_gate(2, 1, GateKind::H.matrix()).unwrap();
+        let r = p.apply(h, v);
+        let r = p.apply(h, r);
+        assert!((p.fidelity(r, v) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inner_product_is_sesquilinear() {
+        let mut p = Package::new();
+        let a_amps = [Cplx::new(0.6, 0.0), Cplx::new(0.0, 0.8)];
+        let b_amps = [Cplx::new(0.0, 1.0), Cplx::ZERO];
+        let a = p.from_amplitudes(&a_amps).unwrap();
+        let b = p.from_amplitudes(&b_amps).unwrap();
+        let ip = p.inner_product(a, b);
+        // <a|b> = conj(0.6)*i + conj(0.8i)*0 = 0.6i
+        assert!(close(ip, Cplx::new(0.0, 0.6)));
+        // Swapping conjugates.
+        let ip_rev = p.inner_product(b, a);
+        assert!(close(ip_rev, ip.conj()));
+    }
+
+    #[test]
+    fn norm_of_unit_state_is_one() {
+        let mut p = Package::new();
+        let v = p.basis_state(4, 9);
+        assert!((p.norm(v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vkron_composes_basis_states() {
+        let mut p = Package::new();
+        let top = p.basis_state(2, 0b10);
+        let bottom = p.basis_state(3, 0b011);
+        let joint = p.vkron(top, bottom);
+        assert_eq!(p.vlevel(joint), 5);
+        let amp = p.amplitude(joint, 0b10_011);
+        assert!((amp.mag2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mkron_builds_two_qubit_identity() {
+        let mut p = Package::new();
+        let id1 = p.identity(1);
+        let id2 = p.mkron(id1, id1);
+        let want = p.identity(2);
+        // Identity ⊗ identity shares the canonical identity node.
+        assert_eq!(id2.node, want.node);
+        assert!(close(id2.w, want.w));
+    }
+
+    #[test]
+    fn conj_transpose_of_unitary_inverts_it() {
+        let mut p = Package::new();
+        let s = p.single_gate(2, 0, GateKind::S.matrix()).unwrap();
+        let sdg = p.conj_transpose(s);
+        let prod = p.mul_mm(s, sdg);
+        let id = p.identity(2);
+        assert_eq!(prod.node, id.node);
+        assert!(close(prod.w, id.w));
+    }
+
+    #[test]
+    fn mul_mm_matches_sequential_application() {
+        let mut p = Package::new();
+        let v = p.basis_state(2, 0);
+        let h0 = p.single_gate(2, 0, GateKind::H.matrix()).unwrap();
+        let x1 = p.single_gate(2, 1, GateKind::X.matrix()).unwrap();
+        // sequential
+        let r_seq = p.apply(h0, v);
+        let r_seq = p.apply(x1, r_seq);
+        // fused: X1 * H0 (apply H0 first)
+        let fused = p.mul_mm(x1, h0);
+        let r_fused = p.apply(fused, v);
+        assert!((p.fidelity(r_seq, r_fused) - 1.0).abs() < 1e-10);
+    }
+}

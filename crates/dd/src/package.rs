@@ -1,0 +1,719 @@
+//! The [`Package`]: owner of all nodes, tables and caches.
+
+use approxdd_complex::{Cplx, Tolerance};
+
+use crate::arena::Arena;
+use crate::edge::{MEdge, NodeId, VEdge};
+use crate::error::DdError;
+use crate::fasthash::FxHashMap;
+use crate::node::{MNode, VNode};
+use crate::Result;
+
+/// Maximum number of qubits the node representation supports.
+pub(crate) const MAX_QUBITS: usize = 255;
+/// Maximum register width for operations that enumerate `2^n` basis
+/// indices (dense conversion).
+pub(crate) const MAX_DENSE_QUBITS: usize = 26;
+/// Compute-table entry cap; tables are cleared wholesale beyond this.
+const COMPUTE_TABLE_CAP: usize = 1 << 20;
+
+/// Unique-table key for a vector node: level, child ids and
+/// tolerance-quantized child weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct VKey {
+    var: u8,
+    nodes: [u32; 2],
+    weights: [(i64, i64); 2],
+}
+
+/// Unique-table key for a matrix node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MKey {
+    var: u8,
+    nodes: [u32; 4],
+    weights: [(i64, i64); 4],
+}
+
+/// Operational statistics of a [`Package`], for benchmarking and the
+/// memory-driven approximation strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackageStats {
+    /// Vector nodes currently alive.
+    pub vnodes_alive: usize,
+    /// Peak simultaneously-alive vector nodes.
+    pub vnodes_peak: usize,
+    /// Matrix nodes currently alive.
+    pub mnodes_alive: usize,
+    /// Peak simultaneously-alive matrix nodes.
+    pub mnodes_peak: usize,
+    /// Unique-table lookups that found an existing node.
+    pub unique_hits: u64,
+    /// Unique-table lookups that created a new node.
+    pub unique_misses: u64,
+    /// Compute-table hits (all operation caches combined).
+    pub ct_hits: u64,
+    /// Compute-table misses.
+    pub ct_misses: u64,
+    /// Garbage-collection runs performed.
+    pub gc_runs: u64,
+    /// Total nodes reclaimed by garbage collection.
+    pub gc_freed: u64,
+}
+
+/// The decision-diagram package: arena storage, unique tables for
+/// canonicity, compute tables for memoization, and the numerical
+/// tolerance that defines weight equality.
+///
+/// All DD operations are methods on this type; edges returned by one
+/// package must not be used with another.
+///
+/// # Examples
+///
+/// ```
+/// use approxdd_dd::Package;
+///
+/// let mut p = Package::new();
+/// let ghz_like = p.basis_state(3, 0b101);
+/// assert_eq!(p.vsize(ghz_like), 3); // one node per qubit
+/// ```
+#[derive(Debug)]
+pub struct Package {
+    tol: Tolerance,
+    pub(crate) vnodes: Arena<VNode>,
+    pub(crate) mnodes: Arena<MNode>,
+    vunique: FxHashMap<VKey, u32>,
+    munique: FxHashMap<MKey, u32>,
+    pub(crate) ct_add: FxHashMap<(u32, u32, i64, i64), VEdge>,
+    pub(crate) ct_mul_mv: FxHashMap<(u32, u32), VEdge>,
+    pub(crate) ct_mul_mm: FxHashMap<(u32, u32), MEdge>,
+    pub(crate) ct_inner: FxHashMap<(u32, u32), Cplx>,
+    /// `ident_cache[k]` is the identity matrix DD over levels `0..k`
+    /// (height `k`); entry 0 is the terminal edge.
+    pub(crate) ident_cache: Vec<MEdge>,
+    pub(crate) stats: PackageStats,
+}
+
+impl Package {
+    /// Creates a package with the default tolerance
+    /// ([`approxdd_complex::DEFAULT_TOLERANCE`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_tolerance(Tolerance::default())
+    }
+
+    /// Creates a package with an explicit tolerance. Looser tolerances
+    /// merge more near-equal weights (smaller DDs, more rounding); tighter
+    /// tolerances are more faithful but may duplicate nodes.
+    #[must_use]
+    pub fn with_tolerance(tol: Tolerance) -> Self {
+        Self {
+            tol,
+            vnodes: Arena::new(),
+            mnodes: Arena::new(),
+            vunique: FxHashMap::default(),
+            munique: FxHashMap::default(),
+            ct_add: FxHashMap::default(),
+            ct_mul_mv: FxHashMap::default(),
+            ct_mul_mm: FxHashMap::default(),
+            ct_inner: FxHashMap::default(),
+            ident_cache: vec![MEdge::ONE],
+            stats: PackageStats::default(),
+        }
+    }
+
+    /// The numerical tolerance of this package.
+    #[must_use]
+    pub fn tolerance(&self) -> Tolerance {
+        self.tol
+    }
+
+    /// Current operational statistics.
+    #[must_use]
+    pub fn stats(&self) -> PackageStats {
+        let mut s = self.stats;
+        s.vnodes_alive = self.vnodes.alive_count();
+        s.vnodes_peak = self.vnodes.peak_count();
+        s.mnodes_alive = self.mnodes.alive_count();
+        s.mnodes_peak = self.mnodes.peak_count();
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // node construction & normalization
+    // ------------------------------------------------------------------
+
+    pub(crate) fn vnode(&self, id: NodeId) -> &VNode {
+        self.vnodes.get(id.0)
+    }
+
+    pub(crate) fn mnode(&self, id: NodeId) -> &MNode {
+        self.mnodes.get(id.0)
+    }
+
+    /// Level (number of qubits) represented by a vector edge: the var of
+    /// its node plus one, or 0 for terminal edges.
+    #[must_use]
+    pub fn vlevel(&self, e: VEdge) -> usize {
+        if e.node.is_terminal() {
+            0
+        } else {
+            usize::from(self.vnode(e.node).var) + 1
+        }
+    }
+
+    /// Level represented by a matrix edge (0 for terminal edges).
+    #[must_use]
+    pub fn mlevel(&self, e: MEdge) -> usize {
+        if e.node.is_terminal() {
+            0
+        } else {
+            usize::from(self.mnode(e.node).var) + 1
+        }
+    }
+
+    /// Creates (or reuses) the canonical vector node `var -> (e0, e1)`
+    /// and returns the normalized edge pointing to it.
+    ///
+    /// Normalization: the weight pair is scaled to unit ℓ2 norm and the
+    /// first non-zero weight is made real positive; the inverse scale
+    /// factor is returned on the edge. Near-zero child weights are
+    /// snapped to the canonical zero stub.
+    pub(crate) fn make_vnode(&mut self, var: u8, mut e0: VEdge, mut e1: VEdge) -> VEdge {
+        if self.tol.is_zero(e0.w) {
+            e0 = VEdge::ZERO;
+        }
+        if self.tol.is_zero(e1.w) {
+            e1 = VEdge::ZERO;
+        }
+        debug_assert!(self.child_level_ok(var, e0) && self.child_level_ok(var, e1));
+
+        let m0 = e0.w.mag2();
+        let m1 = e1.w.mag2();
+        if m0 == 0.0 && m1 == 0.0 {
+            return VEdge::ZERO;
+        }
+        let norm = (m0 + m1).sqrt();
+        // Canonical pivot: the first structurally non-zero child.
+        let pivot_w = if m0 > 0.0 { e0.w } else { e1.w };
+        let phase = pivot_w.phase();
+        let factor = phase * norm;
+        let inv = factor.recip();
+        // Kill numerical noise: the pivot becomes exactly real positive.
+        let (n0, n1) = if m0 > 0.0 {
+            (Cplx::real(m0.sqrt() / norm), e1.w * inv)
+        } else {
+            (Cplx::ZERO, Cplx::real(m1.sqrt() / norm))
+        };
+        let e0 = VEdge { w: n0, node: e0.node };
+        let e1 = VEdge { w: n1, node: e1.node };
+
+        let key = VKey {
+            var,
+            nodes: [e0.node.0, e1.node.0],
+            weights: [self.tol.key(e0.w), self.tol.key(e1.w)],
+        };
+        let id = match self.vunique.get(&key) {
+            Some(&id) => {
+                self.stats.unique_hits += 1;
+                id
+            }
+            None => {
+                self.stats.unique_misses += 1;
+                let id = self.vnodes.alloc(VNode {
+                    var,
+                    edges: [e0, e1],
+                });
+                self.vunique.insert(key, id);
+                id
+            }
+        };
+        VEdge {
+            w: factor,
+            node: NodeId(id),
+        }
+    }
+
+    fn child_level_ok(&self, var: u8, e: VEdge) -> bool {
+        if e.node.is_terminal() {
+            // Zero stubs are allowed anywhere; non-zero terminal children
+            // only directly above the terminal (var == 0).
+            self.tol.is_zero(e.w) || var == 0
+        } else {
+            self.vnode(e.node).var + 1 == var
+        }
+    }
+
+    /// Creates (or reuses) the canonical matrix node and returns the
+    /// normalized edge. Matrix nodes are normalized by the
+    /// largest-magnitude quadrant weight (ties: first in row-major
+    /// order), keeping all stored weights at magnitude ≤ 1.
+    pub(crate) fn make_mnode(&mut self, var: u8, mut edges: [MEdge; 4]) -> MEdge {
+        for e in &mut edges {
+            if self.tol.is_zero(e.w) {
+                *e = MEdge::ZERO;
+            }
+        }
+        let mags = edges.map(|e| e.w.mag2());
+        let mut pivot = 0;
+        for (i, m) in mags.iter().enumerate() {
+            if *m > mags[pivot] {
+                pivot = i;
+            }
+        }
+        if mags[pivot] == 0.0 {
+            return MEdge::ZERO;
+        }
+        let factor = edges[pivot].w;
+        let inv = factor.recip();
+        for (i, e) in edges.iter_mut().enumerate() {
+            if i == pivot {
+                e.w = Cplx::ONE;
+            } else {
+                e.w = e.w * inv;
+                if self.tol.is_zero(e.w) {
+                    *e = MEdge::ZERO;
+                }
+            }
+        }
+
+        let key = MKey {
+            var,
+            nodes: edges.map(|e| e.node.0),
+            weights: edges.map(|e| self.tol.key(e.w)),
+        };
+        let id = match self.munique.get(&key) {
+            Some(&id) => {
+                self.stats.unique_hits += 1;
+                id
+            }
+            None => {
+                self.stats.unique_misses += 1;
+                let id = self.mnodes.alloc(MNode { var, edges });
+                self.munique.insert(key, id);
+                id
+            }
+        };
+        MEdge {
+            w: factor,
+            node: NodeId(id),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // external roots
+    // ------------------------------------------------------------------
+
+    /// Registers a vector edge as an external GC root.
+    pub fn inc_ref(&mut self, e: VEdge) {
+        if !e.node.is_terminal() {
+            self.vnodes.inc_rc(e.node.0);
+        }
+    }
+
+    /// Releases an external vector-edge root.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on reference-count underflow.
+    pub fn dec_ref(&mut self, e: VEdge) {
+        if !e.node.is_terminal() {
+            self.vnodes.dec_rc(e.node.0);
+        }
+    }
+
+    /// Registers a matrix edge as an external GC root.
+    pub fn inc_ref_m(&mut self, e: MEdge) {
+        if !e.node.is_terminal() {
+            self.mnodes.inc_rc(e.node.0);
+        }
+    }
+
+    /// Releases an external matrix-edge root.
+    pub fn dec_ref_m(&mut self, e: MEdge) {
+        if !e.node.is_terminal() {
+            self.mnodes.dec_rc(e.node.0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // state construction / inspection
+    // ------------------------------------------------------------------
+
+    /// Builds the computational basis state `|idx⟩` on `n_qubits` qubits.
+    /// Bit `v` of `idx` is the value of qubit `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits > 63` (use at most 63 so `idx` fits in `u64`)
+    /// or if `idx >= 2^n_qubits`.
+    #[must_use]
+    pub fn basis_state(&mut self, n_qubits: usize, idx: u64) -> VEdge {
+        assert!(n_qubits <= 63, "basis_state supports at most 63 qubits");
+        assert!(
+            n_qubits == 64 || idx < (1u64 << n_qubits),
+            "basis index {idx} out of range for {n_qubits} qubits"
+        );
+        let mut e = VEdge::ONE;
+        for v in 0..n_qubits {
+            let bit = (idx >> v) & 1;
+            e = if bit == 0 {
+                self.make_vnode(v as u8, e, VEdge::ZERO)
+            } else {
+                self.make_vnode(v as u8, VEdge::ZERO, e)
+            };
+        }
+        e
+    }
+
+    /// Builds the all-zeros state `|0…0⟩`.
+    #[must_use]
+    pub fn zero_state(&mut self, n_qubits: usize) -> VEdge {
+        self.basis_state(n_qubits, 0)
+    }
+
+    /// Builds a vector DD from a dense amplitude slice of length `2^n`.
+    /// The vector need not be normalized; the edge then carries the norm.
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::InvalidAmplitudes`] if the length is not a power of two
+    /// or zero; [`DdError::TooManyQubits`] beyond 26 qubits.
+    pub fn from_amplitudes(&mut self, amps: &[Cplx]) -> Result<VEdge> {
+        if amps.is_empty() || !amps.len().is_power_of_two() {
+            return Err(DdError::InvalidAmplitudes {
+                reason: "length must be a non-zero power of two",
+            });
+        }
+        let n = amps.len().trailing_zeros() as usize;
+        if n > MAX_DENSE_QUBITS {
+            return Err(DdError::TooManyQubits {
+                n_qubits: n,
+                max: MAX_DENSE_QUBITS,
+            });
+        }
+        Ok(self.from_amps_rec(amps, n))
+    }
+
+    fn from_amps_rec(&mut self, amps: &[Cplx], n: usize) -> VEdge {
+        if n == 0 {
+            let w = amps[0];
+            return if self.tol.is_zero(w) {
+                VEdge::ZERO
+            } else {
+                VEdge::terminal(w)
+            };
+        }
+        let half = amps.len() / 2;
+        let e0 = self.from_amps_rec(&amps[..half], n - 1);
+        let e1 = self.from_amps_rec(&amps[half..], n - 1);
+        self.make_vnode((n - 1) as u8, e0, e1)
+    }
+
+    /// Expands a vector DD into a dense amplitude vector of length
+    /// `2^n_qubits`.
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::TooManyQubits`] beyond 26 qubits;
+    /// [`DdError::DimensionMismatch`] if the edge's level exceeds
+    /// `n_qubits`.
+    pub fn to_amplitudes(&self, e: VEdge, n_qubits: usize) -> Result<Vec<Cplx>> {
+        if n_qubits > MAX_DENSE_QUBITS {
+            return Err(DdError::TooManyQubits {
+                n_qubits,
+                max: MAX_DENSE_QUBITS,
+            });
+        }
+        let level = self.vlevel(e);
+        if level > n_qubits {
+            return Err(DdError::DimensionMismatch {
+                left: level,
+                right: n_qubits,
+            });
+        }
+        let mut out = vec![Cplx::ZERO; 1 << n_qubits];
+        self.to_amps_rec(e, Cplx::ONE, 0, &mut out);
+        Ok(out)
+    }
+
+    fn to_amps_rec(&self, e: VEdge, acc: Cplx, offset: usize, out: &mut [Cplx]) {
+        if self.tol.is_zero(e.w) {
+            return;
+        }
+        let acc = acc * e.w;
+        if e.node.is_terminal() {
+            out[offset] = acc;
+            return;
+        }
+        let node = *self.vnode(e.node);
+        let stride = 1usize << node.var;
+        self.to_amps_rec(node.edges[0], acc, offset, out);
+        self.to_amps_rec(node.edges[1], acc, offset + stride, out);
+    }
+
+    /// The amplitude of basis state `idx` in the state rooted at `e`
+    /// (an `n_qubits`-level DD).
+    #[must_use]
+    pub fn amplitude(&self, e: VEdge, idx: u64) -> Cplx {
+        let mut acc = e.w;
+        let mut node = e.node;
+        loop {
+            if acc == Cplx::ZERO {
+                return Cplx::ZERO;
+            }
+            if node.is_terminal() {
+                return acc;
+            }
+            let n = self.vnode(node);
+            let bit = ((idx >> n.var) & 1) as usize;
+            let child = n.edges[bit];
+            acc *= child.w;
+            node = child.node;
+        }
+    }
+
+    /// Number of non-terminal nodes reachable from a vector edge — the
+    /// "DD size" that the memory-driven strategy thresholds on.
+    #[must_use]
+    pub fn vsize(&self, e: VEdge) -> usize {
+        let mut seen = std::collections::HashSet::with_hasher(
+            crate::fasthash::FxBuildHasher::default(),
+        );
+        let mut stack = vec![e.node];
+        let mut count = 0;
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            count += 1;
+            let node = self.vnode(id);
+            stack.push(node.edges[0].node);
+            stack.push(node.edges[1].node);
+        }
+        count
+    }
+
+    /// Number of non-terminal nodes reachable from a matrix edge.
+    #[must_use]
+    pub fn msize(&self, e: MEdge) -> usize {
+        let mut seen = std::collections::HashSet::with_hasher(
+            crate::fasthash::FxBuildHasher::default(),
+        );
+        let mut stack = vec![e.node];
+        let mut count = 0;
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            count += 1;
+            let node = self.mnode(id);
+            for c in node.edges {
+                stack.push(c.node);
+            }
+        }
+        count
+    }
+
+    /// ℓ2 norm of the represented vector. With this crate's normalization
+    /// the norm equals `|e.w|` exactly, but this method computes it from
+    /// first principles (useful as a consistency check).
+    #[must_use]
+    pub fn norm(&mut self, e: VEdge) -> f64 {
+        self.inner_product(e, e).re.max(0.0).sqrt()
+    }
+
+    // ------------------------------------------------------------------
+    // compute-table plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn note_ct_hit(&mut self) {
+        self.stats.ct_hits += 1;
+    }
+
+    pub(crate) fn note_ct_miss(&mut self) {
+        self.stats.ct_misses += 1;
+    }
+
+    /// Clears compute tables when they exceed the size cap; called by the
+    /// operation implementations after inserts.
+    pub(crate) fn trim_compute_tables(&mut self) {
+        if self.ct_add.len() > COMPUTE_TABLE_CAP {
+            self.ct_add.clear();
+        }
+        if self.ct_mul_mv.len() > COMPUTE_TABLE_CAP {
+            self.ct_mul_mv.clear();
+        }
+        if self.ct_mul_mm.len() > COMPUTE_TABLE_CAP {
+            self.ct_mul_mm.clear();
+        }
+        if self.ct_inner.len() > COMPUTE_TABLE_CAP {
+            self.ct_inner.clear();
+        }
+    }
+
+    /// Drops all memoized operation results (mandatory after GC).
+    pub(crate) fn clear_compute_tables(&mut self) {
+        self.ct_add.clear();
+        self.ct_mul_mv.clear();
+        self.ct_mul_mm.clear();
+        self.ct_inner.clear();
+    }
+
+    pub(crate) fn remove_vnode_from_unique(&mut self, id: u32, node: &VNode) {
+        let key = VKey {
+            var: node.var,
+            nodes: [node.edges[0].node.0, node.edges[1].node.0],
+            weights: [self.tol.key(node.edges[0].w), self.tol.key(node.edges[1].w)],
+        };
+        self.vunique.remove(&key);
+        let _ = id;
+    }
+
+    pub(crate) fn remove_mnode_from_unique(&mut self, id: u32, node: &MNode) {
+        let key = MKey {
+            var: node.var,
+            nodes: node.edges.map(|e| e.node.0),
+            weights: node.edges.map(|e| self.tol.key(e.w)),
+        };
+        self.munique.remove(&key);
+        let _ = id;
+    }
+}
+
+impl Default for Package {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_state_has_one_node_per_qubit() {
+        let mut p = Package::new();
+        for idx in 0..8u64 {
+            let e = p.basis_state(3, idx);
+            assert_eq!(p.vsize(e), 3);
+            let amps = p.to_amplitudes(e, 3).unwrap();
+            for (i, a) in amps.iter().enumerate() {
+                if i as u64 == idx {
+                    assert!((a.mag2() - 1.0).abs() < 1e-12);
+                } else {
+                    assert!(a.mag2() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn basis_states_are_shared() {
+        let mut p = Package::new();
+        let a = p.basis_state(4, 5);
+        let b = p.basis_state(4, 5);
+        assert_eq!(a.node, b.node, "identical states must share the root node");
+    }
+
+    #[test]
+    fn from_to_amplitudes_roundtrip() {
+        let mut p = Package::new();
+        let amps: Vec<Cplx> = vec![
+            Cplx::new(0.5, 0.0),
+            Cplx::new(0.0, 0.5),
+            Cplx::new(-0.5, 0.0),
+            Cplx::new(0.0, -0.5),
+        ];
+        let e = p.from_amplitudes(&amps).unwrap();
+        let back = p.to_amplitudes(e, 2).unwrap();
+        for (a, b) in amps.iter().zip(&back) {
+            assert!((*a - *b).mag() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn from_amplitudes_rejects_bad_lengths() {
+        let mut p = Package::new();
+        assert!(matches!(
+            p.from_amplitudes(&[]),
+            Err(DdError::InvalidAmplitudes { .. })
+        ));
+        assert!(matches!(
+            p.from_amplitudes(&[Cplx::ONE; 3]),
+            Err(DdError::InvalidAmplitudes { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_superposition_is_maximally_compact() {
+        let mut p = Package::new();
+        let n = 6;
+        let dim = 1usize << n;
+        let amp = Cplx::real(1.0 / (dim as f64).sqrt());
+        let amps = vec![amp; dim];
+        let e = p.from_amplitudes(&amps).unwrap();
+        // A uniform state has exactly one node per level.
+        assert_eq!(p.vsize(e), n);
+        assert!((e.w.mag() - 1.0).abs() < 1e-12, "unit norm on the root");
+    }
+
+    #[test]
+    fn amplitude_walk_matches_dense() {
+        let mut p = Package::new();
+        let amps: Vec<Cplx> = (0..16)
+            .map(|i| Cplx::new(((i * 7) % 5) as f64 * 0.1, ((i * 3) % 4) as f64 * -0.05))
+            .collect();
+        let e = p.from_amplitudes(&amps).unwrap();
+        for (i, want) in amps.iter().enumerate() {
+            let got = p.amplitude(e, i as u64);
+            assert!((got - *want).mag() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalization_gives_unit_subtree_norm() {
+        let mut p = Package::new();
+        let amps = [
+            Cplx::new(0.1, 0.2),
+            Cplx::new(-0.3, 0.0),
+            Cplx::new(0.0, 0.7),
+            Cplx::new(0.5, -0.1),
+        ];
+        let e = p.from_amplitudes(&amps).unwrap();
+        let total: f64 = amps.iter().map(|a| a.mag2()).sum();
+        assert!((e.w.mag2() - total).abs() < 1e-12, "root weight carries the norm");
+        // Every node weight pair has unit l2 norm.
+        let root = p.vnode(e.node);
+        let s = root.edges[0].w.mag2() + root.edges[1].w.mag2();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_collapses_to_zero_edge() {
+        let mut p = Package::new();
+        let e = p.from_amplitudes(&[Cplx::ZERO; 8]).unwrap();
+        assert_eq!(e, VEdge::ZERO);
+        assert_eq!(p.vsize(e), 0);
+    }
+
+    #[test]
+    fn canonical_phase_pivot_is_real_positive() {
+        let mut p = Package::new();
+        // Same state up to a global phase must share the node.
+        let amps1 = [Cplx::new(0.6, 0.0), Cplx::new(0.8, 0.0)];
+        let phase = Cplx::from_polar(1.0, 1.234);
+        let amps2 = [amps1[0] * phase, amps1[1] * phase];
+        let e1 = p.from_amplitudes(&amps1).unwrap();
+        let e2 = p.from_amplitudes(&amps2).unwrap();
+        assert_eq!(e1.node, e2.node, "global phase must land on the edge weight");
+    }
+
+    #[test]
+    fn stats_report_alive_nodes() {
+        let mut p = Package::new();
+        let _ = p.basis_state(5, 17);
+        let s = p.stats();
+        assert_eq!(s.vnodes_alive, 5);
+        assert!(s.unique_misses >= 5);
+    }
+}

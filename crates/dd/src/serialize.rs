@@ -1,0 +1,447 @@
+//! Textual serialization of state DDs — checkpointing simulated states
+//! and interchange between processes.
+//!
+//! The format is line-based and explicitly versioned:
+//!
+//! ```text
+//! approxdd-vdd 1
+//! nodes <count>
+//! n <local-id> <var> <w0.re> <w0.im> <child0> <w1.re> <w1.im> <child1>
+//! ...
+//! root <w.re> <w.im> <node>
+//! ```
+//!
+//! Children reference earlier local ids or `T` for the terminal; zero
+//! edges are written as `0 0 T`. Deserialization rebuilds every node
+//! through the unique table, so the result is canonical in the target
+//! package regardless of the source package's tolerance.
+
+use std::fmt::Write as _;
+
+use approxdd_complex::Cplx;
+
+use crate::edge::{MEdge, NodeId, VEdge};
+use crate::error::DdError;
+use crate::fasthash::FxHashMap;
+use crate::package::Package;
+use crate::Result;
+
+const MAGIC: &str = "approxdd-vdd 1";
+
+impl Package {
+    /// Serializes a state DD to the textual format.
+    #[must_use]
+    pub fn serialize_state(&self, root: VEdge) -> String {
+        // Topological order: children before parents (post-order DFS).
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut seen: FxHashMap<NodeId, usize> = FxHashMap::default();
+        self.postorder(root.node, &mut order, &mut seen);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC}");
+        let _ = writeln!(out, "nodes {}", order.len());
+        for (local, id) in order.iter().enumerate() {
+            let node = self.vnode(*id);
+            let _ = write!(out, "n {local} {}", node.var);
+            for e in node.edges {
+                let child = if e.node.is_terminal() {
+                    "T".to_string()
+                } else {
+                    seen[&e.node].to_string()
+                };
+                let _ = write!(out, " {:.17e} {:.17e} {child}", e.w.re, e.w.im);
+            }
+            out.push('\n');
+        }
+        let root_ref = if root.node.is_terminal() {
+            "T".to_string()
+        } else {
+            seen[&root.node].to_string()
+        };
+        let _ = writeln!(out, "root {:.17e} {:.17e} {root_ref}", root.w.re, root.w.im);
+        out
+    }
+
+    fn postorder(
+        &self,
+        node: NodeId,
+        order: &mut Vec<NodeId>,
+        seen: &mut FxHashMap<NodeId, usize>,
+    ) {
+        if node.is_terminal() || seen.contains_key(&node) {
+            return;
+        }
+        let n = *self.vnode(node);
+        for e in n.edges {
+            self.postorder(e.node, order, seen);
+        }
+        seen.insert(node, order.len());
+        order.push(node);
+    }
+
+    /// Deserializes a state DD, rebuilding nodes canonically in this
+    /// package.
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::InvalidAmplitudes`] on malformed input (the reason
+    /// string describes the first offending construct).
+    pub fn deserialize_state(&mut self, text: &str) -> Result<VEdge> {
+        let malformed = |reason: &'static str| DdError::InvalidAmplitudes { reason };
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        if lines.next().map(str::trim) != Some(MAGIC) {
+            return Err(malformed("missing or unsupported format header"));
+        }
+        let count: usize = lines
+            .next()
+            .and_then(|l| l.trim().strip_prefix("nodes "))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| malformed("missing node count"))?;
+
+        let mut edges_by_local: Vec<VEdge> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or_else(|| malformed("truncated node list"))?;
+            let mut tok = line.split_whitespace();
+            if tok.next() != Some("n") {
+                return Err(malformed("expected node line"));
+            }
+            let local: usize = tok
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| malformed("bad local id"))?;
+            if local != edges_by_local.len() {
+                return Err(malformed("node ids must be dense and ascending"));
+            }
+            let var: u8 = tok
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| malformed("bad var"))?;
+            let mut children = [VEdge::ZERO; 2];
+            for child in &mut children {
+                let re: f64 = tok
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| malformed("bad weight"))?;
+                let im: f64 = tok
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| malformed("bad weight"))?;
+                let target = tok.next().ok_or_else(|| malformed("missing child"))?;
+                let edge = if target == "T" {
+                    VEdge::terminal(Cplx::new(re, im))
+                } else {
+                    let idx: usize = target.parse().map_err(|_| malformed("bad child id"))?;
+                    let base = *edges_by_local
+                        .get(idx)
+                        .ok_or_else(|| malformed("forward child reference"))?;
+                    base.scaled(Cplx::new(re, im))
+                };
+                *child = if self.tolerance().is_zero(edge.w) {
+                    VEdge::ZERO
+                } else {
+                    edge
+                };
+            }
+            let rebuilt = self.make_vnode(var, children[0], children[1]);
+            edges_by_local.push(rebuilt);
+        }
+
+        let root_line = lines.next().ok_or_else(|| malformed("missing root line"))?;
+        let mut tok = root_line.split_whitespace();
+        if tok.next() != Some("root") {
+            return Err(malformed("expected root line"));
+        }
+        let re: f64 = tok
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| malformed("bad root weight"))?;
+        let im: f64 = tok
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| malformed("bad root weight"))?;
+        let target = tok.next().ok_or_else(|| malformed("missing root node"))?;
+        let w = Cplx::new(re, im);
+        if target == "T" {
+            return Ok(if self.tolerance().is_zero(w) {
+                VEdge::ZERO
+            } else {
+                VEdge::terminal(w)
+            });
+        }
+        let idx: usize = target.parse().map_err(|_| malformed("bad root id"))?;
+        let base = *edges_by_local
+            .get(idx)
+            .ok_or_else(|| malformed("root references unknown node"))?;
+        Ok(base.scaled(w))
+    }
+}
+
+const MAGIC_M: &str = "approxdd-mdd 1";
+
+impl Package {
+    /// Serializes an operation (matrix) DD to the textual format —
+    /// persisting expensive gate constructions (e.g. Shor's modular
+    /// multiplications) across processes.
+    #[must_use]
+    pub fn serialize_operator(&self, root: MEdge) -> String {
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut seen: FxHashMap<NodeId, usize> = FxHashMap::default();
+        self.postorder_m(root.node, &mut order, &mut seen);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC_M}");
+        let _ = writeln!(out, "nodes {}", order.len());
+        for (local, id) in order.iter().enumerate() {
+            let node = self.mnode(*id);
+            let _ = write!(out, "n {local} {}", node.var);
+            for e in node.edges {
+                let child = if e.node.is_terminal() {
+                    "T".to_string()
+                } else {
+                    seen[&e.node].to_string()
+                };
+                let _ = write!(out, " {:.17e} {:.17e} {child}", e.w.re, e.w.im);
+            }
+            out.push('\n');
+        }
+        let root_ref = if root.node.is_terminal() {
+            "T".to_string()
+        } else {
+            seen[&root.node].to_string()
+        };
+        let _ = writeln!(out, "root {:.17e} {:.17e} {root_ref}", root.w.re, root.w.im);
+        out
+    }
+
+    fn postorder_m(
+        &self,
+        node: NodeId,
+        order: &mut Vec<NodeId>,
+        seen: &mut FxHashMap<NodeId, usize>,
+    ) {
+        if node.is_terminal() || seen.contains_key(&node) {
+            return;
+        }
+        let n = *self.mnode(node);
+        for e in n.edges {
+            self.postorder_m(e.node, order, seen);
+        }
+        seen.insert(node, order.len());
+        order.push(node);
+    }
+
+    /// Deserializes an operation DD (see [`Package::serialize_operator`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::InvalidMatrix`] on malformed input.
+    pub fn deserialize_operator(&mut self, text: &str) -> Result<MEdge> {
+        let malformed = |reason: &'static str| DdError::InvalidMatrix { reason };
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        if lines.next().map(str::trim) != Some(MAGIC_M) {
+            return Err(malformed("missing or unsupported format header"));
+        }
+        let count: usize = lines
+            .next()
+            .and_then(|l| l.trim().strip_prefix("nodes "))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| malformed("missing node count"))?;
+
+        let mut edges_by_local: Vec<MEdge> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or_else(|| malformed("truncated node list"))?;
+            let mut tok = line.split_whitespace();
+            if tok.next() != Some("n") {
+                return Err(malformed("expected node line"));
+            }
+            let local: usize = tok
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| malformed("bad local id"))?;
+            if local != edges_by_local.len() {
+                return Err(malformed("node ids must be dense and ascending"));
+            }
+            let var: u8 = tok
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| malformed("bad var"))?;
+            let mut children = [MEdge::ZERO; 4];
+            for child in &mut children {
+                let re: f64 = tok
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| malformed("bad weight"))?;
+                let im: f64 = tok
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| malformed("bad weight"))?;
+                let target = tok.next().ok_or_else(|| malformed("missing child"))?;
+                let edge = if target == "T" {
+                    MEdge::terminal(Cplx::new(re, im))
+                } else {
+                    let idx: usize = target.parse().map_err(|_| malformed("bad child id"))?;
+                    let base = *edges_by_local
+                        .get(idx)
+                        .ok_or_else(|| malformed("forward child reference"))?;
+                    base.scaled(Cplx::new(re, im))
+                };
+                *child = if self.tolerance().is_zero(edge.w) {
+                    MEdge::ZERO
+                } else {
+                    edge
+                };
+            }
+            let rebuilt = self.make_mnode(var, children);
+            edges_by_local.push(rebuilt);
+        }
+
+        let root_line = lines.next().ok_or_else(|| malformed("missing root line"))?;
+        let mut tok = root_line.split_whitespace();
+        if tok.next() != Some("root") {
+            return Err(malformed("expected root line"));
+        }
+        let re: f64 = tok
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| malformed("bad root weight"))?;
+        let im: f64 = tok
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| malformed("bad root weight"))?;
+        let target = tok.next().ok_or_else(|| malformed("missing root node"))?;
+        let w = Cplx::new(re, im);
+        if target == "T" {
+            return Ok(if self.tolerance().is_zero(w) {
+                MEdge::ZERO
+            } else {
+                MEdge::terminal(w)
+            });
+        }
+        let idx: usize = target.parse().map_err(|_| malformed("bad root id"))?;
+        let base = *edges_by_local
+            .get(idx)
+            .ok_or_else(|| malformed("root references unknown node"))?;
+        Ok(base.scaled(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: &mut Package, e: VEdge, n: usize) {
+        let text = p.serialize_state(e);
+        let back = p.deserialize_state(&text).unwrap();
+        let f = p.fidelity(e, back);
+        assert!((f - 1.0).abs() < 1e-10, "fidelity {f}\n{text}");
+        let a = p.to_amplitudes(e, n).unwrap();
+        let b = p.to_amplitudes(back, n).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).mag() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn basis_state_roundtrip() {
+        let mut p = Package::new();
+        let e = p.basis_state(5, 19);
+        roundtrip(&mut p, e, 5);
+    }
+
+    #[test]
+    fn structured_state_roundtrip() {
+        let mut p = Package::new();
+        let s = Cplx::FRAC_1_SQRT_2;
+        let bell = p.from_amplitudes(&[s, Cplx::ZERO, Cplx::ZERO, s]).unwrap();
+        roundtrip(&mut p, bell, 2);
+    }
+
+    #[test]
+    fn complex_weights_roundtrip() {
+        let mut p = Package::new();
+        let amps: Vec<Cplx> = (0..16)
+            .map(|i| Cplx::from_polar(((i % 5) as f64 + 1.0) / 8.0, i as f64 * 0.7))
+            .collect();
+        let norm: f64 = amps.iter().map(|a| a.mag2()).sum::<f64>().sqrt();
+        let amps: Vec<Cplx> = amps.iter().map(|a| *a / norm).collect();
+        let e = p.from_amplitudes(&amps).unwrap();
+        roundtrip(&mut p, e, 4);
+    }
+
+    #[test]
+    fn cross_package_transfer() {
+        let mut src = Package::new();
+        let e = src.basis_state(4, 7);
+        let text = src.serialize_state(e);
+        let mut dst = Package::new();
+        let back = dst.deserialize_state(&text).unwrap();
+        assert!((dst.probability(back, 7) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_terminal_roots() {
+        let mut p = Package::new();
+        let text = p.serialize_state(VEdge::ONE);
+        let back = p.deserialize_state(&text).unwrap();
+        assert_eq!(back.node, NodeId::TERMINAL);
+
+        let text = p.serialize_state(VEdge::ZERO);
+        let back = p.deserialize_state(&text).unwrap();
+        assert!(back.is_zero(p.tolerance()));
+    }
+
+    #[test]
+    fn operator_roundtrip_preserves_action() {
+        let mut p = Package::new();
+        let perm: Vec<usize> = (0..16)
+            .map(|x| if x < 15 { (7 * x) % 15 } else { x })
+            .collect();
+        let gate = p.permutation_gate(6, 0, 4, &perm, &[(5, true)]).unwrap();
+        let text = p.serialize_operator(gate);
+        let back = p.deserialize_operator(&text).unwrap();
+        // Same action on a probe superposition.
+        let probe_amps: Vec<Cplx> = (0..64)
+            .map(|i| Cplx::from_polar(1.0 / 8.0, i as f64 * 0.3))
+            .collect();
+        let probe = p.from_amplitudes(&probe_amps).unwrap();
+        let r1 = p.apply(gate, probe);
+        let r2 = p.apply(back, probe);
+        assert!((p.fidelity(r1, r2) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn operator_cross_package_transfer() {
+        let mut src = Package::new();
+        let h = src
+            .single_gate(3, 1, crate::gates::GateKind::H.matrix())
+            .unwrap();
+        let text = src.serialize_operator(h);
+        let mut dst = Package::new();
+        let back = dst.deserialize_operator(&text).unwrap();
+        let v = dst.zero_state(3);
+        let r = dst.apply(back, v);
+        assert!((dst.probability(r, 0) - 0.5).abs() < 1e-10);
+        assert!((dst.probability(r, 0b010) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn operator_rejects_state_header() {
+        let mut p = Package::new();
+        let v = p.basis_state(2, 1);
+        let state_text = p.serialize_state(v);
+        assert!(p.deserialize_operator(&state_text).is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        let mut p = Package::new();
+        assert!(p.deserialize_state("").is_err());
+        assert!(p.deserialize_state("approxdd-vdd 1\nnodes 1\n").is_err());
+        assert!(p
+            .deserialize_state("approxdd-vdd 2\nnodes 0\nroot 1 0 T\n")
+            .is_err());
+        assert!(p
+            .deserialize_state("approxdd-vdd 1\nnodes 0\nroot 1 0 5\n")
+            .is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the Shor pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use approxdd_sim::SimError;
+
+/// Errors from circuit construction, simulation, or factoring.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ShorError {
+    /// The number is trivially non-factorable this way (0, 1, or prime).
+    NotComposite {
+        /// The offending number.
+        n: u64,
+    },
+    /// The chosen base shares a factor with `n` — not an error for
+    /// factoring (the gcd *is* a factor) but invalid for order finding.
+    BaseNotCoprime {
+        /// The base.
+        a: u64,
+        /// The modulus.
+        n: u64,
+    },
+    /// The instance needs more qubits than the engine supports.
+    TooLarge {
+        /// The number to factor.
+        n: u64,
+        /// Qubits required.
+        qubits: usize,
+    },
+    /// Order finding exhausted its sample budget without a verified
+    /// order.
+    OrderNotFound {
+        /// The base used.
+        a: u64,
+        /// The modulus.
+        n: u64,
+    },
+    /// All factoring attempts failed (unlucky bases / odd orders).
+    AttemptsExhausted {
+        /// The number to factor.
+        n: u64,
+        /// Attempts made.
+        attempts: usize,
+    },
+    /// An underlying simulator error.
+    Sim(SimError),
+}
+
+impl fmt::Display for ShorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShorError::NotComposite { n } => write!(f, "{n} is not an odd composite"),
+            ShorError::BaseNotCoprime { a, n } => {
+                write!(f, "base {a} is not coprime to {n}")
+            }
+            ShorError::TooLarge { n, qubits } => {
+                write!(f, "factoring {n} needs {qubits} qubits, beyond engine limits")
+            }
+            ShorError::OrderNotFound { a, n } => {
+                write!(f, "no verified order of {a} mod {n} within the sample budget")
+            }
+            ShorError::AttemptsExhausted { n, attempts } => {
+                write!(f, "failed to factor {n} after {attempts} attempts")
+            }
+            ShorError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for ShorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ShorError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ShorError {
+    fn from(e: SimError) -> Self {
+        ShorError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ShorError::NotComposite { n: 17 }.to_string().contains("17"));
+        assert!(ShorError::BaseNotCoprime { a: 6, n: 15 }
+            .to_string()
+            .contains("coprime"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Grover search under approximation: how much final-state fidelity
+//! does amplitude amplification tolerate before the marked item stops
+//! winning? A small study in the spirit of the paper's error-tolerance
+//! argument (Section III) — and of its caveat that suitability depends
+//! on the algorithm: mid-amplification the *marked* amplitude is the
+//! small one, so aggressive early truncation can remove exactly the
+//! signal the algorithm is amplifying.
+//!
+//! ```text
+//! cargo run --release --example grover_search [n_qubits]
+//! ```
+
+use approxdd::circuit::generators;
+use approxdd::sim::{SimOptions, Simulator, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let marked: u64 = 0b1011 & ((1 << n) - 1) | (1 << (n - 1));
+    let circuit = generators::grover(n, marked, None);
+    println!(
+        "grover on {n} qubits, marked |{marked:0n$b}>, {} gates",
+        circuit.gate_count()
+    );
+
+    let mut rng = StdRng::seed_from_u64(7);
+    for (label, strategy) in [
+        ("exact        ", Strategy::Exact),
+        (
+            "f_final = 0.9",
+            Strategy::FidelityDriven {
+                final_fidelity: 0.9,
+                round_fidelity: 0.99,
+            },
+        ),
+        (
+            "f_final = 0.5",
+            Strategy::FidelityDriven {
+                final_fidelity: 0.5,
+                round_fidelity: 0.9,
+            },
+        ),
+        (
+            "f_final = 0.2",
+            Strategy::FidelityDriven {
+                final_fidelity: 0.2,
+                round_fidelity: 0.8,
+            },
+        ),
+    ] {
+        let mut sim = Simulator::new(SimOptions {
+            strategy,
+            ..SimOptions::default()
+        });
+        let run = sim.run(&circuit)?;
+        let shots = 500;
+        let counts = sim.sample_counts(&run, shots, &mut rng);
+        let hits = counts.get(&marked).copied().unwrap_or(0);
+        println!(
+            "{label}: marked sampled {hits:>3}/{shots}  (measured f_final {:.3}, {} rounds, max DD {})",
+            run.stats.fidelity, run.stats.approx_rounds, run.stats.max_dd_size
+        );
+    }
+    println!("\nMild approximation (f_final ≈ 0.9) leaves the search intact; aggressive");
+    println!("early truncation can zero out the still-small marked amplitude and break");
+    println!("the algorithm — the per-algorithm suitability caveat of the paper (Sec. IV).");
+    println!("Contrast with Shor (see shor_factoring), which tolerates ~50% fidelity.");
+    Ok(())
+}

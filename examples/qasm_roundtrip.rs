@@ -1,0 +1,35 @@
+//! Interchange example: export a benchmark circuit to OpenQASM 2,
+//! re-import it, and verify both versions simulate to the same state.
+//!
+//! ```text
+//! cargo run --release --example qasm_roundtrip
+//! ```
+
+use approxdd::circuit::{generators, qasm};
+use approxdd::sim::{SimOptions, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = generators::qft(6);
+    let text = qasm::to_qasm(&circuit)?;
+    println!("--- exported OpenQASM ({} lines) ---", text.lines().count());
+    for line in text.lines().take(12) {
+        println!("{line}");
+    }
+    println!("...\n");
+
+    let reimported = qasm::from_qasm(&text)?;
+    println!(
+        "reimported: {} gates on {} qubits",
+        reimported.gate_count(),
+        reimported.n_qubits()
+    );
+
+    let mut sim = Simulator::new(SimOptions::default());
+    let run_a = sim.run(&circuit)?;
+    let run_b = sim.run(&reimported)?;
+    let fidelity = sim.fidelity_between(&run_a, &run_b);
+    println!("fidelity(original, reimported) = {fidelity:.12}");
+    assert!((fidelity - 1.0).abs() < 1e-9);
+    println!("round-trip is exact.");
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! # approxdd — approximate DD-based quantum circuit simulation
+//!
+//! Facade crate re-exporting the whole workspace: a Rust reproduction of
+//! *"As Accurate as Needed, as Efficient as Possible: Approximations in
+//! DD-based Quantum Circuit Simulation"* (Hillmich, Kueng, Markov,
+//! Wille — DATE 2021).
+//!
+//! The workspace pieces:
+//!
+//! * [`complex`] — complex arithmetic with tolerance-aware comparison,
+//! * [`dd`] — the decision-diagram engine (states, gates, contribution
+//!   analysis, truncation, GC),
+//! * [`circuit`] — circuit IR, builders and benchmark generators,
+//! * [`statevector`] — the dense-array baseline simulator,
+//! * [`sim`] — the approximate simulator (memory-driven and
+//!   fidelity-driven strategies),
+//! * [`shor`] — Shor's algorithm end-to-end.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use approxdd::circuit::generators;
+//! use approxdd::sim::{SimOptions, Simulator};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = generators::ghz(8);
+//! let mut sim = Simulator::new(SimOptions::default());
+//! let run = sim.run(&circuit)?;
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let outcome = sim.sample(&run, &mut rng);
+//! assert!(outcome == 0 || outcome == 0xFF);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use approxdd_circuit as circuit;
+pub use approxdd_complex as complex;
+pub use approxdd_dd as dd;
+pub use approxdd_shor as shor;
+pub use approxdd_sim as sim;
+pub use approxdd_statevector as statevector;
