@@ -1,0 +1,119 @@
+//! The unified execution error.
+
+use std::error::Error;
+use std::fmt;
+
+use approxdd_circuit::CircuitError;
+use approxdd_dd::DdError;
+use approxdd_sim::SimError;
+use approxdd_statevector::StateError;
+
+/// Every way a [`crate::Backend`] can fail, absorbing the engine error
+/// types via `From` so `?` works across layers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The DD simulator failed.
+    Sim(SimError),
+    /// The dense statevector engine failed.
+    State(StateError),
+    /// The decision-diagram engine failed.
+    Dd(DdError),
+    /// The circuit failed validation.
+    Circuit(CircuitError),
+    /// A basis-state query indexed outside the register.
+    BasisOutOfRange {
+        /// The requested basis index.
+        basis: u64,
+        /// Register width of the run.
+        n_qubits: usize,
+    },
+    /// The backend cannot perform the requested operation.
+    Unsupported {
+        /// Backend name ([`crate::Backend::name`]).
+        backend: &'static str,
+        /// What was requested.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Sim(e) => write!(f, "dd simulator error: {e}"),
+            ExecError::State(e) => write!(f, "statevector error: {e}"),
+            ExecError::Dd(e) => write!(f, "decision-diagram error: {e}"),
+            ExecError::Circuit(e) => write!(f, "circuit error: {e}"),
+            ExecError::BasisOutOfRange { basis, n_qubits } => {
+                write!(f, "basis state {basis} outside a {n_qubits}-qubit register")
+            }
+            ExecError::Unsupported { backend, what } => {
+                write!(f, "backend '{backend}' does not support {what}")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Sim(e) => Some(e),
+            ExecError::State(e) => Some(e),
+            ExecError::Dd(e) => Some(e),
+            ExecError::Circuit(e) => Some(e),
+            ExecError::BasisOutOfRange { .. } | ExecError::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for ExecError {
+    /// Unwraps the simulator's own wrappers so an error surfaces the
+    /// same way regardless of which layer reported it.
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::Dd(inner) => ExecError::Dd(inner),
+            SimError::Circuit(inner) => ExecError::Circuit(inner),
+            other => ExecError::Sim(other),
+        }
+    }
+}
+
+impl From<StateError> for ExecError {
+    fn from(e: StateError) -> Self {
+        ExecError::State(e)
+    }
+}
+
+impl From<DdError> for ExecError {
+    fn from(e: DdError) -> Self {
+        ExecError::Dd(e)
+    }
+}
+
+impl From<CircuitError> for ExecError {
+    fn from(e: CircuitError) -> Self {
+        ExecError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_unwrap_nested_sim_errors() {
+        let e: ExecError = SimError::Dd(DdError::InvalidPermutation).into();
+        assert!(matches!(e, ExecError::Dd(_)), "{e:?}");
+        let e: ExecError = DdError::InvalidPermutation.into();
+        assert!(matches!(e, ExecError::Dd(_)));
+        let e: ExecError = SimError::InvalidStrategy { reason: "x" }.into();
+        assert!(matches!(e, ExecError::Sim(_)));
+        assert!(e.to_string().contains("dd simulator"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<ExecError>();
+    }
+}

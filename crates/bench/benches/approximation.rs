@@ -4,8 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use approxdd_backend::BuildBackend;
+use approxdd_bench::run_stats;
 use approxdd_circuit::generators;
-use approxdd_sim::{SimOptions, Simulator, Strategy};
+use approxdd_sim::Simulator;
 
 fn bench_supremacy_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("supremacy_strategies");
@@ -14,22 +16,17 @@ fn bench_supremacy_strategies(c: &mut Criterion) {
 
     group.bench_function("exact", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(SimOptions::default());
-            std::hint::black_box(sim.run(&circuit).expect("run"));
+            let mut backend = Simulator::builder().exact().build_backend();
+            std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
         });
     });
     for f_round in [0.99, 0.95] {
         group.bench_function(format!("memory_driven_f{f_round}"), |b| {
             b.iter(|| {
-                let mut sim = Simulator::new(SimOptions {
-                    strategy: Strategy::MemoryDriven {
-                        node_threshold: 1 << 9,
-                        round_fidelity: f_round,
-                        threshold_growth: 1.0,
-                    },
-                    ..SimOptions::default()
-                });
-                std::hint::black_box(sim.run(&circuit).expect("run"));
+                let mut backend = Simulator::builder()
+                    .memory_driven_table1(1 << 9, f_round)
+                    .build_backend();
+                std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
             });
         });
     }
@@ -43,20 +40,16 @@ fn bench_shor_strategies(c: &mut Criterion) {
 
     group.bench_function("exact_shor_33_5", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(SimOptions::default());
-            std::hint::black_box(sim.run(&circuit).expect("run"));
+            let mut backend = Simulator::builder().exact().build_backend();
+            std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
         });
     });
     group.bench_function("fidelity_driven_shor_33_5", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(SimOptions {
-                strategy: Strategy::FidelityDriven {
-                    final_fidelity: 0.5,
-                    round_fidelity: 0.9,
-                },
-                ..SimOptions::default()
-            });
-            std::hint::black_box(sim.run(&circuit).expect("run"));
+            let mut backend = Simulator::builder()
+                .fidelity_driven(0.5, 0.9)
+                .build_backend();
+            std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
         });
     });
     group.finish();
@@ -70,20 +63,16 @@ fn bench_approximation_overhead(c: &mut Criterion) {
     let circuit = generators::ghz(20);
     group.bench_function("ghz20_exact", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(SimOptions::default());
-            std::hint::black_box(sim.run(&circuit).expect("run"));
+            let mut backend = Simulator::builder().exact().build_backend();
+            std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
         });
     });
     group.bench_function("ghz20_with_useless_rounds", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(SimOptions {
-                strategy: Strategy::FidelityDriven {
-                    final_fidelity: 0.5,
-                    round_fidelity: 0.9,
-                },
-                ..SimOptions::default()
-            });
-            std::hint::black_box(sim.run(&circuit).expect("run"));
+            let mut backend = Simulator::builder()
+                .fidelity_driven(0.5, 0.9)
+                .build_backend();
+            std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
         });
     });
     group.finish();

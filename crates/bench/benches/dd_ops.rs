@@ -6,11 +6,11 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use approxdd_circuit::generators;
 use approxdd_dd::{Package, RemovalStrategy, VEdge};
-use approxdd_sim::{SimOptions, Simulator};
+use approxdd_sim::Simulator;
 
 /// Builds a structured (supremacy) state inside a fresh package.
 fn supremacy_state(n_rows: usize, n_cols: usize, depth: usize) -> (Simulator, VEdge) {
-    let mut sim = Simulator::new(SimOptions::default());
+    let mut sim = Simulator::builder().exact().build();
     let run = sim
         .run(&generators::supremacy(n_rows, n_cols, depth, 1))
         .expect("supremacy run");
@@ -89,7 +89,10 @@ fn bench_contribution_and_truncate(c: &mut Criterion) {
             || state,
             |s| {
                 let p = sim.package_mut();
-                std::hint::black_box(p.truncate(s, RemovalStrategy::Budget(0.05)).expect("truncate"));
+                std::hint::black_box(
+                    p.truncate(s, RemovalStrategy::Budget(0.05))
+                        .expect("truncate"),
+                );
             },
             BatchSize::SmallInput,
         );

@@ -6,9 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use approxdd_backend::{BuildBackend, StatevectorBackend};
+use approxdd_bench::run_stats;
 use approxdd_circuit::generators;
-use approxdd_sim::{SimOptions, Simulator};
-use approxdd_statevector::State;
+use approxdd_sim::Simulator;
 
 fn bench_structured_circuits(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_structured");
@@ -20,15 +21,14 @@ fn bench_structured_circuits(c: &mut Criterion) {
     ] {
         group.bench_function(format!("dd_{label}"), |b| {
             b.iter(|| {
-                let mut sim = Simulator::new(SimOptions::default());
-                std::hint::black_box(sim.run(&circuit).expect("run"));
+                let mut backend = Simulator::builder().exact().build_backend();
+                std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
             });
         });
         group.bench_function(format!("statevector_{label}"), |b| {
             b.iter(|| {
-                let mut s = State::zero(circuit.n_qubits());
-                s.run(&circuit).expect("run");
-                std::hint::black_box(s.norm());
+                let mut backend = StatevectorBackend::new();
+                std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
             });
         });
     }
@@ -41,15 +41,14 @@ fn bench_supremacy(c: &mut Criterion) {
     let circuit = generators::supremacy(3, 4, 10, 0);
     group.bench_function("dd_qsup_3x4_10", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(SimOptions::default());
-            std::hint::black_box(sim.run(&circuit).expect("run"));
+            let mut backend = Simulator::builder().exact().build_backend();
+            std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
         });
     });
     group.bench_function("statevector_qsup_3x4_10", |b| {
         b.iter(|| {
-            let mut s = State::zero(circuit.n_qubits());
-            s.run(&circuit).expect("run");
-            std::hint::black_box(s.norm());
+            let mut backend = StatevectorBackend::new();
+            std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
         });
     });
     group.finish();
@@ -61,19 +60,23 @@ fn bench_shor(c: &mut Criterion) {
     let circuit = approxdd_shor::shor_circuit(15, 7).expect("shor_15_7");
     group.bench_function("dd_shor_15_7", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(SimOptions::default());
-            std::hint::black_box(sim.run(&circuit).expect("run"));
+            let mut backend = Simulator::builder().exact().build_backend();
+            std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
         });
     });
     group.bench_function("statevector_shor_15_7", |b| {
         b.iter(|| {
-            let mut s = State::zero(circuit.n_qubits());
-            s.run(&circuit).expect("run");
-            std::hint::black_box(s.norm());
+            let mut backend = StatevectorBackend::new();
+            std::hint::black_box(run_stats(&mut backend, &circuit).expect("run"));
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_structured_circuits, bench_supremacy, bench_shor);
+criterion_group!(
+    benches,
+    bench_structured_circuits,
+    bench_supremacy,
+    bench_shor
+);
 criterion_main!(benches);

@@ -18,9 +18,7 @@
 use std::process::ExitCode;
 
 use approxdd_circuit::{generators, qasm, Circuit};
-use approxdd_sim::{SimOptions, Simulator, Strategy};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use approxdd_sim::{Simulator, Strategy};
 
 fn main() -> ExitCode {
     match run() {
@@ -51,21 +49,20 @@ fn run() -> Result<(), String> {
         circuit.n_qubits(),
         circuit.gate_count()
     );
-    let mut sim = Simulator::new(SimOptions {
-        strategy,
-        ..SimOptions::default()
-    });
+    let mut sim = Simulator::builder().strategy(strategy).seed(seed).build();
     let run = sim.run(&circuit).map_err(|e| e.to_string())?;
 
     println!("runtime        : {:?}", run.stats.runtime);
     println!("max DD size    : {} nodes", run.stats.max_dd_size);
-    println!("final DD size  : {} nodes", sim.package().vsize(run.state()));
+    println!(
+        "final DD size  : {} nodes",
+        sim.package().vsize(run.state())
+    );
     println!("approx rounds  : {}", run.stats.approx_rounds);
     println!("f_final        : {:.6}", run.stats.fidelity);
 
     if shots > 0 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let counts = sim.sample_counts(&run, shots, &mut rng);
+        let counts = sim.draw_counts(&run, shots);
         let mut entries: Vec<(u64, usize)> = counts.into_iter().collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         println!("\ntop samples ({shots} shots):");
@@ -95,7 +92,7 @@ fn load_circuit(args: &[String]) -> Result<Circuit, String> {
 fn generate(spec: &str) -> Result<Circuit, String> {
     let (kind, param) = spec.split_once(':').unwrap_or((spec, ""));
     let nums: Vec<usize> = param
-        .split(|c| c == 'x' || c == ',')
+        .split(['x', ','])
         .filter_map(|t| t.parse().ok())
         .collect();
     match (kind, nums.as_slice()) {
@@ -106,8 +103,9 @@ fn generate(spec: &str) -> Result<Circuit, String> {
         ("bv", [n]) => Ok(generators::bernstein_vazirani(*n, 0xB & ((1 << n) - 1))),
         ("supremacy", [r, c, d]) => Ok(generators::supremacy(*r, *c, *d, 0)),
         ("random", [n, d]) => Ok(generators::random_circuit(*n, *d, 0)),
-        ("shor", [n, a]) => approxdd_shor::shor_circuit(*n as u64, *a as u64)
-            .map_err(|e| e.to_string()),
+        ("shor", [n, a]) => {
+            approxdd_shor::shor_circuit(*n as u64, *a as u64).map_err(|e| e.to_string())
+        }
         _ => Err(format!("unknown generator spec '{spec}'")),
     }
 }

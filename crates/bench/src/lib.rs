@@ -15,11 +15,29 @@
 
 use std::time::Duration;
 
+use approxdd_backend::{Backend, BackendStats, BuildBackend, ExecError};
 use approxdd_circuit::{generators, Circuit};
 use approxdd_shor::{factor, shor_circuit, FactorOptions};
-use approxdd_sim::{SimError, SimOptions, Simulator, Strategy};
+use approxdd_sim::{Simulator, Strategy};
 
 pub mod sweeps;
+
+/// Runs `circuit` on any [`Backend`] and returns its unified run
+/// statistics, releasing the outcome — the one generic primitive every
+/// benchmark row (and equivalence check) is built from.
+///
+/// # Errors
+///
+/// Preparation or execution errors.
+pub fn run_stats<B: Backend>(
+    backend: &mut B,
+    circuit: &Circuit,
+) -> Result<BackendStats, ExecError> {
+    let outcome = approxdd_backend::run_circuit(backend, circuit)?;
+    let stats = outcome.stats.clone();
+    backend.release(outcome);
+    Ok(stats)
+}
 
 /// One row of the regenerated Table I.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,35 +81,34 @@ pub fn memory_driven_row(
     f_round: f64,
     threshold_growth: f64,
     skip_exact: bool,
-) -> Result<TableRow, SimError> {
+) -> Result<TableRow, ExecError> {
     let (exact_max_dd, exact_runtime) = if skip_exact {
         (None, None)
     } else {
-        let mut sim = Simulator::new(SimOptions::default());
-        let run = sim.run(circuit)?;
-        (Some(run.stats.max_dd_size), Some(run.stats.runtime))
+        let mut exact = Simulator::builder().exact().build_backend();
+        let stats = run_stats(&mut exact, circuit)?;
+        (Some(stats.peak_size), Some(stats.runtime))
     };
 
-    let mut sim = Simulator::new(SimOptions {
-        strategy: Strategy::MemoryDriven {
+    let mut approx = Simulator::builder()
+        .strategy(Strategy::MemoryDriven {
             node_threshold,
             round_fidelity: f_round,
             threshold_growth,
-        },
-        ..SimOptions::default()
-    });
-    let run = sim.run(circuit)?;
+        })
+        .build_backend();
+    let stats = run_stats(&mut approx, circuit)?;
 
     Ok(TableRow {
         name: circuit.name().to_string(),
         qubits: circuit.n_qubits(),
         exact_max_dd,
         exact_runtime,
-        approx_max_dd: run.stats.max_dd_size,
-        rounds: run.stats.approx_rounds,
+        approx_max_dd: stats.peak_size,
+        rounds: stats.approx_rounds,
         f_round,
-        approx_runtime: run.stats.runtime,
-        f_final: run.stats.fidelity,
+        approx_runtime: stats.runtime,
+        f_final: stats.fidelity,
         factored: None,
     })
 }
@@ -117,9 +134,9 @@ pub fn fidelity_driven_row(
     let (exact_max_dd, exact_runtime) = if skip_exact {
         (None, None)
     } else {
-        let mut sim = Simulator::new(SimOptions::default());
-        let run = sim.run(&circuit)?;
-        (Some(run.stats.max_dd_size), Some(run.stats.runtime))
+        let mut exact = Simulator::builder().exact().build_backend();
+        let stats = run_stats(&mut exact, &circuit)?;
+        (Some(stats.peak_size), Some(stats.runtime))
     };
 
     let opts = FactorOptions {
@@ -134,7 +151,7 @@ pub fn fidelity_driven_row(
     let (factored, stats) = match &outcome {
         Ok(out) => (
             out.factors.0 * out.factors.1 == n,
-            out.sim_stats.clone(),
+            out.sim_stats.clone().map(BackendStats::from),
         ),
         Err(_) => (false, None),
     };
@@ -143,11 +160,8 @@ pub fn fidelity_driven_row(
     let stats = match stats {
         Some(s) => s,
         None => {
-            let mut sim = Simulator::new(SimOptions {
-                strategy: opts.strategy,
-                ..SimOptions::default()
-            });
-            sim.run(&circuit)?.stats
+            let mut approx = Simulator::builder().strategy(opts.strategy).build_backend();
+            run_stats(&mut approx, &circuit)?
         }
     };
 
@@ -156,7 +170,7 @@ pub fn fidelity_driven_row(
         qubits: circuit.n_qubits(),
         exact_max_dd,
         exact_runtime,
-        approx_max_dd: stats.max_dd_size,
+        approx_max_dd: stats.peak_size,
         rounds: stats.approx_rounds,
         f_round,
         approx_runtime: stats.runtime,
@@ -175,14 +189,18 @@ pub mod workloads {
     /// total runtime).
     #[must_use]
     pub fn supremacy_default() -> Vec<Circuit> {
-        (0..3).map(|seed| generators::supremacy(4, 4, 12, seed)).collect()
+        (0..3)
+            .map(|seed| generators::supremacy(4, 4, 12, seed))
+            .collect()
     }
 
     /// Paper-scale supremacy instances (`qsup_4x5_15_{0,1,2}`, 20
     /// qubits, depth 15). Expect long exact runtimes.
     #[must_use]
     pub fn supremacy_large() -> Vec<Circuit> {
-        (0..3).map(|seed| generators::supremacy(4, 5, 15, seed)).collect()
+        (0..3)
+            .map(|seed| generators::supremacy(4, 5, 15, seed))
+            .collect()
     }
 
     /// Default node threshold for the memory-driven strategy on the
@@ -239,8 +257,10 @@ pub fn format_rows(rows: &[TableRow]) -> String {
             r.f_round,
             r.approx_runtime.as_secs_f64(),
             r.f_final,
-            r.factored
-                .map_or_else(|| "-".to_string(), |b| if b { "yes" } else { "NO" }.to_string()),
+            r.factored.map_or_else(
+                || "-".to_string(),
+                |b| if b { "yes" } else { "NO" }.to_string()
+            ),
         ));
     }
     out

@@ -4,8 +4,11 @@
 
 use std::time::Duration;
 
+use approxdd_backend::{BuildBackend, ExecError};
 use approxdd_circuit::Circuit;
-use approxdd_sim::{SimError, SimOptions, Simulator, Strategy};
+use approxdd_sim::Simulator;
+
+use crate::run_stats;
 
 /// One point of the `f_round` sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,24 +36,19 @@ pub fn round_fidelity_sweep(
     circuit: &Circuit,
     node_threshold: usize,
     f_rounds: &[f64],
-) -> Result<Vec<SweepPoint>, SimError> {
+) -> Result<Vec<SweepPoint>, ExecError> {
     let mut out = Vec::with_capacity(f_rounds.len());
     for &f_round in f_rounds {
-        let mut sim = Simulator::new(SimOptions {
-            strategy: Strategy::MemoryDriven {
-                node_threshold,
-                round_fidelity: f_round,
-                threshold_growth: 1.0,
-            },
-            ..SimOptions::default()
-        });
-        let run = sim.run(circuit)?;
+        let mut backend = Simulator::builder()
+            .memory_driven_table1(node_threshold, f_round)
+            .build_backend();
+        let stats = run_stats(&mut backend, circuit)?;
         out.push(SweepPoint {
             f_round,
-            max_dd_size: run.stats.max_dd_size,
-            rounds: run.stats.approx_rounds,
-            f_final: run.stats.fidelity,
-            runtime: run.stats.runtime,
+            max_dd_size: stats.peak_size,
+            rounds: stats.approx_rounds,
+            f_final: stats.fidelity,
+            runtime: stats.runtime,
         });
     }
     Ok(out)
@@ -87,26 +85,22 @@ pub fn rounds_tradeoff(
     circuit: &Circuit,
     final_fidelity: f64,
     round_counts: &[usize],
-) -> Result<Vec<TradeoffPoint>, SimError> {
+) -> Result<Vec<TradeoffPoint>, ExecError> {
     let mut out = Vec::with_capacity(round_counts.len());
     for &k in round_counts {
         assert!(k > 0, "round counts must be positive");
         let f_round = final_fidelity.powf(1.0 / k as f64);
-        let mut sim = Simulator::new(SimOptions {
-            strategy: Strategy::FidelityDriven {
-                final_fidelity,
-                round_fidelity: f_round,
-            },
-            ..SimOptions::default()
-        });
-        let run = sim.run(circuit)?;
+        let mut backend = Simulator::builder()
+            .fidelity_driven(final_fidelity, f_round)
+            .build_backend();
+        let stats = run_stats(&mut backend, circuit)?;
         out.push(TradeoffPoint {
             rounds_requested: k,
             f_round,
-            rounds_performed: run.stats.approx_rounds,
-            max_dd_size: run.stats.max_dd_size,
-            f_final: run.stats.fidelity,
-            runtime: run.stats.runtime,
+            rounds_performed: stats.approx_rounds,
+            max_dd_size: stats.peak_size,
+            f_final: stats.fidelity,
+            runtime: stats.runtime,
         });
     }
     Ok(out)

@@ -579,7 +579,9 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match &outer.ops()[1] {
-            Operation::Gate { target, controls, .. } => {
+            Operation::Gate {
+                target, controls, ..
+            } => {
                 assert_eq!(*target, 4);
                 assert_eq!(controls[0].qubit, 3);
             }

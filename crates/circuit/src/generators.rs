@@ -69,7 +69,7 @@ pub fn qft(n: usize) -> Circuit {
     for i in (0..n).rev() {
         c.h(i);
         for j in (0..i).rev() {
-            let theta = std::f64::consts::PI / f64::from(1u32 << (i - j)) as f64;
+            let theta = std::f64::consts::PI / f64::from(1u32 << (i - j));
             c.cp(theta, j, i);
         }
     }
@@ -94,7 +94,7 @@ pub fn inverse_qft(n: usize, with_markers: bool) -> Circuit {
     }
     for i in 0..n {
         for j in 0..i {
-            let theta = -std::f64::consts::PI / f64::from(1u32 << (i - j)) as f64;
+            let theta = -std::f64::consts::PI / f64::from(1u32 << (i - j));
             c.cp(theta, j, i);
         }
         c.h(i);
@@ -243,7 +243,10 @@ pub fn deutsch_jozsa(n: usize, balanced: Option<u64>) -> Circuit {
         c.h(q);
     }
     if let Some(mask) = balanced {
-        assert!(mask != 0 && mask < (1u64 << n), "balanced mask out of range");
+        assert!(
+            mask != 0 && mask < (1u64 << n),
+            "balanced mask out of range"
+        );
         for q in 0..n {
             if (mask >> q) & 1 == 1 {
                 c.z(q);
@@ -325,6 +328,7 @@ pub fn quantum_volume(n: usize, depth: usize, seed: u64) -> Circuit {
 
 /// A Haar-ish random `dim × dim` unitary (row-major) via Gram–Schmidt
 /// on complex Gaussian columns (Box–Muller from the given RNG).
+#[allow(clippy::needless_range_loop)] // index loops span two columns at once
 fn random_unitary(dim: usize, rng: &mut StdRng) -> Vec<Cplx> {
     let mut gauss = || {
         // Box-Muller transform.
@@ -479,7 +483,7 @@ pub fn supremacy(rows: usize, cols: usize, depth: usize, seed: u64) -> Circuit {
 /// with a stagger that shifts by two positions every other layer, so
 /// all couplings are exercised across eight layers.
 fn cz_layer_pairs(rows: usize, cols: usize, layer: usize) -> Vec<(usize, usize)> {
-    let horizontal = layer % 2 == 0;
+    let horizontal = layer.is_multiple_of(2);
     let shift = (layer / 2) % 4;
     let mut pairs = Vec::new();
     for r in 0..rows {
@@ -494,7 +498,11 @@ fn cz_layer_pairs(rows: usize, cols: usize, layer: usize) -> Vec<(usize, usize)>
             }
             // Stagger: select every other coupling along the direction,
             // offset by the shift and the perpendicular coordinate.
-            let key = if horizontal { 2 * ccol + r } else { 2 * r + ccol };
+            let key = if horizontal {
+                2 * ccol + r
+            } else {
+                2 * r + ccol
+            };
             if key % 4 != shift {
                 continue;
             }

@@ -216,8 +216,13 @@ fn parse_statement(
         .ok_or_else(|| err("missing operands"))?;
     let (name, param) = match head.split_once('(') {
         Some((n, p)) => {
-            let p = p.strip_suffix(')').ok_or_else(|| err("unbalanced parens"))?;
-            (n.trim(), Some(parse_angle(p).ok_or_else(|| err("bad angle"))?))
+            let p = p
+                .strip_suffix(')')
+                .ok_or_else(|| err("unbalanced parens"))?;
+            (
+                n.trim(),
+                Some(parse_angle(p).ok_or_else(|| err("bad angle"))?),
+            )
         }
         None => (head.trim(), None),
     };
@@ -300,7 +305,12 @@ mod tests {
     #[test]
     fn roundtrip_simple_circuit() {
         let mut c = Circuit::new(3, "rt");
-        c.h(0).cx(0, 1).t(2).cp(PI / 4.0, 1, 2).approx_point().ccx(0, 1, 2);
+        c.h(0)
+            .cx(0, 1)
+            .t(2)
+            .cp(PI / 4.0, 1, 2)
+            .approx_point()
+            .ccx(0, 1, 2);
         let qasm = to_qasm(&c).unwrap();
         let back = from_qasm(&qasm).unwrap();
         assert_eq!(back.n_qubits(), 3);

@@ -223,6 +223,8 @@ impl Mul<Cplx> for f64 {
 
 impl Div for Cplx {
     type Output = Cplx;
+    // Division is multiplication by the reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Cplx) -> Cplx {
         self * rhs.recip()
     }

@@ -1,0 +1,184 @@
+//! Fluent construction of [`Simulator`]s.
+//!
+//! [`SimulatorBuilder`] replaces ad-hoc [`SimOptions`] struct mutation
+//! at call sites: every knob is a chainable method, and the built
+//! simulator carries a deterministic sampling RNG seeded through
+//! [`SimulatorBuilder::seed`].
+
+use crate::options::{ApproxPrimitive, SimOptions, Strategy};
+use crate::simulator::Simulator;
+
+/// Builder for [`Simulator`] — the canonical way to configure a run.
+///
+/// # Examples
+///
+/// ```
+/// use approxdd_sim::{Simulator, Strategy};
+///
+/// let mut sim = Simulator::builder()
+///     .strategy(Strategy::memory_driven(1 << 12, 0.95))
+///     .seed(42)
+///     .record_size_series(true)
+///     .build();
+/// let run = sim.run(&approxdd_circuit::generators::ghz(8)).unwrap();
+/// assert_eq!(run.stats.size_series.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[must_use = "builders do nothing until .build() is called"]
+pub struct SimulatorBuilder {
+    options: SimOptions,
+    seed: Option<u64>,
+}
+
+impl SimulatorBuilder {
+    /// Starts from the default options (exact simulation).
+    pub fn new() -> Self {
+        Self {
+            options: SimOptions::default(),
+            seed: None,
+        }
+    }
+
+    /// Sets the approximation strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.options.strategy = strategy;
+        self
+    }
+
+    /// Shortcut for [`Strategy::Exact`] (the default).
+    pub fn exact(self) -> Self {
+        self.strategy(Strategy::Exact)
+    }
+
+    /// Shortcut for the paper-text memory-driven strategy
+    /// ([`Strategy::memory_driven`], doubling threshold).
+    pub fn memory_driven(self, node_threshold: usize, round_fidelity: f64) -> Self {
+        self.strategy(Strategy::memory_driven(node_threshold, round_fidelity))
+    }
+
+    /// Shortcut for the Table-I memory-driven regime
+    /// ([`Strategy::memory_driven_table1`], fixed threshold).
+    pub fn memory_driven_table1(self, node_threshold: usize, round_fidelity: f64) -> Self {
+        self.strategy(Strategy::memory_driven_table1(
+            node_threshold,
+            round_fidelity,
+        ))
+    }
+
+    /// Shortcut for the fidelity-driven strategy
+    /// ([`Strategy::fidelity_driven`]).
+    pub fn fidelity_driven(self, final_fidelity: f64, round_fidelity: f64) -> Self {
+        self.strategy(Strategy::fidelity_driven(final_fidelity, round_fidelity))
+    }
+
+    /// Sets the truncation primitive (nodes vs. edges).
+    pub fn primitive(mut self, primitive: ApproxPrimitive) -> Self {
+        self.options.primitive = primitive;
+        self
+    }
+
+    /// Sets the package garbage-collection threshold (alive nodes).
+    pub fn gc_node_threshold(mut self, nodes: usize) -> Self {
+        self.options.gc_node_threshold = nodes;
+        self
+    }
+
+    /// Records the DD size after every gate into
+    /// [`crate::SimStats::size_series`].
+    pub fn record_size_series(mut self, record: bool) -> Self {
+        self.options.record_size_series = record;
+        self
+    }
+
+    /// Seeds the simulator's owned sampling RNG (used by
+    /// [`Simulator::draw`] / [`Simulator::draw_counts`] and the
+    /// `Backend` trait of `approxdd-backend`). Unseeded builders use a
+    /// fixed default seed, so runs are deterministic either way.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The options accumulated so far.
+    #[must_use]
+    pub fn options(&self) -> &SimOptions {
+        &self.options
+    }
+
+    /// Builds the simulator. Strategy parameters are validated at
+    /// [`Simulator::run`] time, as before.
+    #[must_use = "building a simulator has no side effects"]
+    pub fn build(self) -> Simulator {
+        match self.seed {
+            Some(seed) => Simulator::seeded(self.options, seed),
+            None => Simulator::new(self.options),
+        }
+    }
+}
+
+impl Default for SimulatorBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxdd_circuit::generators;
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let b = Simulator::builder()
+            .fidelity_driven(0.5, 0.9)
+            .primitive(ApproxPrimitive::Edges)
+            .gc_node_threshold(1234)
+            .record_size_series(true)
+            .seed(7);
+        let o = b.options();
+        assert_eq!(
+            o.strategy,
+            Strategy::FidelityDriven {
+                final_fidelity: 0.5,
+                round_fidelity: 0.9
+            }
+        );
+        assert_eq!(o.primitive, ApproxPrimitive::Edges);
+        assert_eq!(o.gc_node_threshold, 1234);
+        assert!(o.record_size_series);
+    }
+
+    #[test]
+    fn seeded_builds_draw_reproducibly() {
+        let circuit = generators::ghz(6);
+        let mut a = Simulator::builder().seed(99).build();
+        let mut b = Simulator::builder().seed(99).build();
+        let run_a = a.run(&circuit).unwrap();
+        let run_b = b.run(&circuit).unwrap();
+        for _ in 0..16 {
+            assert_eq!(a.draw(&run_a), b.draw(&run_b));
+        }
+    }
+
+    #[test]
+    fn presets_match_strategy_constructors() {
+        assert_eq!(
+            Simulator::builder()
+                .memory_driven(64, 0.9)
+                .options()
+                .strategy,
+            Strategy::memory_driven(64, 0.9)
+        );
+        assert_eq!(
+            Simulator::builder()
+                .memory_driven_table1(64, 0.9)
+                .options()
+                .strategy,
+            Strategy::memory_driven_table1(64, 0.9)
+        );
+        assert_eq!(
+            Simulator::builder().exact().options().strategy,
+            Strategy::Exact
+        );
+    }
+}

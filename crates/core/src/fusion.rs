@@ -101,13 +101,12 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::options::SimOptions;
     use approxdd_circuit::generators;
 
     #[test]
     fn whole_circuit_operator_matches_sequential_run() {
         let circuit = generators::qft(5);
-        let mut sim = Simulator::new(SimOptions::default());
+        let mut sim = Simulator::builder().exact().build();
         let op = sim.build_operator(&circuit).unwrap();
 
         let seq = sim.run(&circuit).unwrap();
@@ -122,7 +121,7 @@ mod tests {
     fn fused_windows_agree_with_gate_by_gate() {
         for window in [1usize, 2, 4, 16] {
             let circuit = generators::random_circuit(6, 8, 7);
-            let mut sim = Simulator::new(SimOptions::default());
+            let mut sim = Simulator::builder().exact().build();
             let fused = sim.run_fused(&circuit, window).unwrap();
             let seq = sim.run(&circuit).unwrap();
             let f = sim.fidelity_between(&seq, &fused);
@@ -136,7 +135,7 @@ mod tests {
         let n = 4;
         let mut both = generators::qft(n);
         both.append(&generators::inverse_qft(n, false), 0);
-        let mut sim = Simulator::new(SimOptions::default());
+        let mut sim = Simulator::builder().exact().build();
         let op = sim.build_operator(&both).unwrap();
         let id = sim.package_mut().identity(n);
         assert_eq!(op.node, id.node, "QFT · QFT⁻¹ must fuse to the identity");
@@ -148,7 +147,7 @@ mod tests {
         // Fusing the controlled modular multiplications of shor_15_7
         // yields one operator representing the whole exponentiation.
         let circuit = approxdd_shor_circuit();
-        let mut sim = Simulator::new(SimOptions::default());
+        let mut sim = Simulator::builder().exact().build();
         let fused = sim.run_fused(&circuit, 4).unwrap();
         let seq = sim.run(&circuit).unwrap();
         let f = sim.fidelity_between(&seq, &fused);

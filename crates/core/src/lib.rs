@@ -24,33 +24,32 @@
 //!
 //! ```
 //! use approxdd_circuit::generators;
-//! use approxdd_sim::{SimOptions, Simulator, Strategy};
+//! use approxdd_sim::Simulator;
 //!
 //! # fn main() -> Result<(), approxdd_sim::SimError> {
 //! let circuit = generators::grover(6, 0b101101, None);
-//! let mut sim = Simulator::new(SimOptions {
-//!     strategy: Strategy::FidelityDriven {
-//!         final_fidelity: 0.8,
-//!         round_fidelity: 0.95,
-//!     },
-//!     ..SimOptions::default()
-//! });
+//! let mut sim = Simulator::builder()
+//!     .fidelity_driven(0.8, 0.95)
+//!     .seed(1)
+//!     .build();
 //! let run = sim.run(&circuit)?;
 //! assert!(run.stats.fidelity >= 0.8);
 //! # Ok(())
 //! # }
 //! ```
 
+mod builder;
 mod error;
 mod fusion;
 mod options;
 mod schedule;
 mod simulator;
 
+pub use builder::SimulatorBuilder;
 pub use error::SimError;
 pub use options::{ApproxPrimitive, SimOptions, Strategy};
 pub use schedule::plan_rounds;
-pub use simulator::{RunResult, SimStats, Simulator};
+pub use simulator::{RunResult, SimStats, Simulator, DEFAULT_SAMPLE_SEED};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -6,11 +6,18 @@ use std::time::{Duration, Instant};
 
 use approxdd_circuit::{Circuit, Operation};
 use approxdd_dd::{MEdge, Package, RemovalStrategy, VEdge};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::builder::SimulatorBuilder;
 use crate::options::{SimOptions, Strategy};
 use crate::schedule::plan_rounds;
 use crate::Result;
+
+/// Seed of a simulator's owned sampling RNG when none is given through
+/// [`SimulatorBuilder::seed`] — fixed so unseeded runs stay
+/// reproducible.
+pub const DEFAULT_SAMPLE_SEED: u64 = 0x0A99_07DD;
 
 /// Statistics of one simulation run — the quantities Table I of the
 /// paper reports per benchmark.
@@ -48,6 +55,21 @@ pub struct SimStats {
 /// The outcome of a run: the final state plus statistics. The state
 /// edge stays registered as a GC root in the simulator's package until
 /// the result is released with [`Simulator::release`].
+///
+/// # Lifetime hazard
+///
+/// [`RunResult::state`] hands out a raw [`VEdge`], which is only
+/// meaningful inside the owning simulator's [`Package`] **and** only
+/// while it is still registered as a GC root there. After
+/// [`Simulator::release`] (or after dropping the simulator), the edge
+/// may reference freed or recycled nodes: using it — including through
+/// a stale clone of this result — is a logic error that can silently
+/// return garbage amplitudes. Query through the simulator
+/// ([`Simulator::sample`], [`Simulator::amplitudes`],
+/// [`Simulator::fidelity_between`]) while the result is live, and treat
+/// `release` as the end of the result's life. The `Backend` trait in
+/// `approxdd-backend` encapsulates exactly this contract
+/// (`Backend::release` consumes the outcome by value).
 #[derive(Debug, Clone)]
 pub struct RunResult {
     state: VEdge,
@@ -66,6 +88,10 @@ impl RunResult {
     }
 
     /// The final state edge (owned by the simulator's package).
+    ///
+    /// The edge dangles once the result is passed to
+    /// [`Simulator::release`] or the simulator is dropped — see the
+    /// type-level *Lifetime hazard* note.
     #[must_use]
     pub fn state(&self) -> VEdge {
         self.state
@@ -78,21 +104,36 @@ impl RunResult {
     }
 }
 
-/// Key identifying a gate DD in the per-run cache.
+/// Key identifying a gate DD in the per-simulator cache. Includes the
+/// register width: one simulator session may run circuits of different
+/// widths back to back, and a gate DD is only valid at the width it
+/// was built for.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum GateKey {
     Gate {
+        n_qubits: usize,
         name: &'static str,
         param_bits: u64,
         target: usize,
         controls: Vec<(usize, bool)>,
     },
     Permutation {
+        n_qubits: usize,
         table_ptr: usize,
         lo: usize,
         k: usize,
         controls: Vec<(usize, bool)>,
     },
+}
+
+/// Keeps the allocation behind a pointer-keyed cache entry alive, so
+/// the address in its [`GateKey`] can never be recycled by a new table
+/// while the entry exists.
+#[derive(Debug)]
+enum TableGuard {
+    // Held for ownership only, never read back.
+    Perm(#[allow(dead_code)] std::sync::Arc<Vec<usize>>),
+    Dense(#[allow(dead_code)] std::sync::Arc<Vec<approxdd_complex::Cplx>>),
 }
 
 /// A DD-based quantum circuit simulator with configurable approximation
@@ -104,18 +145,39 @@ enum GateKey {
 pub struct Simulator {
     package: Package,
     options: SimOptions,
-    gate_cache: HashMap<GateKey, MEdge>,
+    gate_cache: HashMap<GateKey, (MEdge, Option<TableGuard>)>,
+    rng: StdRng,
 }
 
 impl Simulator {
-    /// Creates a simulator with the given options.
+    /// Starts a fluent [`SimulatorBuilder`] — the preferred way to
+    /// configure a simulator.
+    pub fn builder() -> SimulatorBuilder {
+        SimulatorBuilder::new()
+    }
+
+    /// Creates a simulator with the given options and the default
+    /// sampling seed ([`DEFAULT_SAMPLE_SEED`]).
     #[must_use]
     pub fn new(options: SimOptions) -> Self {
+        Self::seeded(options, DEFAULT_SAMPLE_SEED)
+    }
+
+    /// Creates a simulator with the given options and sampling seed
+    /// (what [`SimulatorBuilder::seed`] builds).
+    #[must_use]
+    pub fn seeded(options: SimOptions, seed: u64) -> Self {
         Self {
             package: Package::new(),
             options,
             gate_cache: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Re-seeds the owned sampling RNG.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 
     /// The simulation options.
@@ -263,6 +325,19 @@ impl Simulator {
         self.package.sample(result.state(), rng)
     }
 
+    /// Draws one outcome using the simulator's owned RNG (seeded via
+    /// [`SimulatorBuilder::seed`]).
+    pub fn draw(&mut self, result: &RunResult) -> u64 {
+        self.package.sample(result.state(), &mut self.rng)
+    }
+
+    /// Draws `shots` outcomes into a histogram using the simulator's
+    /// owned RNG.
+    pub fn draw_counts(&mut self, result: &RunResult, shots: usize) -> HashMap<u64, usize> {
+        self.package
+            .sample_counts(result.state(), shots, &mut self.rng)
+    }
+
     /// Draws `shots` outcomes into a histogram.
     #[must_use]
     pub fn sample_counts<R: Rng + ?Sized>(
@@ -354,18 +429,21 @@ impl Simulator {
                 target,
                 controls: _,
             } => GateKey::Gate {
+                n_qubits: n,
                 name: gate.name(),
                 param_bits: gate.parameter().map_or(0, f64::to_bits),
                 target: *target,
                 controls: op.control_pairs(),
             },
             Operation::Permutation { lo, k, perm, .. } => GateKey::Permutation {
+                n_qubits: n,
                 table_ptr: perm.as_ptr() as usize,
                 lo: *lo,
                 k: *k,
                 controls: op.control_pairs(),
             },
             Operation::DenseBlock { lo, k, matrix, .. } => GateKey::Permutation {
+                n_qubits: n,
                 table_ptr: matrix.as_ptr() as usize,
                 lo: *lo,
                 k: *k,
@@ -375,34 +453,42 @@ impl Simulator {
                 unreachable!("markers are not gates")
             }
         };
-        if let Some(&e) = self.gate_cache.get(&key) {
+        if let Some(&(e, _)) = self.gate_cache.get(&key) {
             return Ok(e);
         }
-        let edge = match op {
-            Operation::Gate { gate, target, .. } => self.package.controlled_gate_polarized(
-                n,
-                &op.control_pairs(),
-                *target,
-                gate.matrix(),
-            )?,
-            Operation::Permutation { lo, k, perm, .. } => {
+        // For pointer-keyed entries, clone the table's Arc into the
+        // cache: while the guard lives, the allocation cannot be freed
+        // and recycled at the same address by an unrelated circuit.
+        let (edge, guard) = match op {
+            Operation::Gate { gate, target, .. } => (
+                self.package.controlled_gate_polarized(
+                    n,
+                    &op.control_pairs(),
+                    *target,
+                    gate.matrix(),
+                )?,
+                None,
+            ),
+            Operation::Permutation { lo, k, perm, .. } => (
                 self.package
-                    .permutation_gate(n, *lo, *k, perm, &op.control_pairs())?
-            }
-            Operation::DenseBlock { lo, k, matrix, .. } => {
+                    .permutation_gate(n, *lo, *k, perm, &op.control_pairs())?,
+                Some(TableGuard::Perm(perm.clone())),
+            ),
+            Operation::DenseBlock { lo, k, matrix, .. } => (
                 self.package
-                    .dense_block_gate(n, *lo, *k, matrix, &op.control_pairs())?
-            }
+                    .dense_block_gate(n, *lo, *k, matrix, &op.control_pairs())?,
+                Some(TableGuard::Dense(matrix.clone())),
+            ),
             _ => unreachable!(),
         };
         self.package.inc_ref_m(edge);
-        self.gate_cache.insert(key, edge);
+        self.gate_cache.insert(key, (edge, guard));
         Ok(edge)
     }
 
     /// Drops all cached gate DDs (releasing their GC roots).
     pub fn clear_gate_cache(&mut self) {
-        let edges: Vec<MEdge> = self.gate_cache.drain().map(|(_, e)| e).collect();
+        let edges: Vec<MEdge> = self.gate_cache.drain().map(|(_, (e, _))| e).collect();
         for e in edges {
             self.package.dec_ref_m(e);
         }
@@ -485,13 +571,7 @@ mod tests {
     #[test]
     fn fidelity_driven_respects_final_bound() {
         let circuit = generators::supremacy(2, 3, 12, 1);
-        let mut sim = Simulator::new(SimOptions {
-            strategy: Strategy::FidelityDriven {
-                final_fidelity: 0.6,
-                round_fidelity: 0.9,
-            },
-            ..SimOptions::default()
-        });
+        let mut sim = Simulator::builder().fidelity_driven(0.6, 0.9).build();
         let run = sim.run(&circuit).unwrap();
         assert!(
             run.stats.fidelity >= 0.6 - 1e-9,
@@ -527,14 +607,7 @@ mod tests {
         let exact_run = exact.run(&circuit).unwrap();
 
         let threshold = 12;
-        let mut sim = Simulator::new(SimOptions {
-            strategy: Strategy::MemoryDriven {
-                node_threshold: threshold,
-                round_fidelity: 0.9,
-                threshold_growth: 2.0,
-            },
-            ..SimOptions::default()
-        });
+        let mut sim = Simulator::builder().memory_driven(threshold, 0.9).build();
         let run = sim.run(&circuit).unwrap();
         assert!(run.stats.approx_rounds > 0, "threshold should trigger");
         assert!(
@@ -549,13 +622,7 @@ mod tests {
     #[test]
     fn fidelity_product_matches_round_fidelities() {
         let circuit = generators::supremacy(2, 2, 10, 5);
-        let mut sim = Simulator::new(SimOptions {
-            strategy: Strategy::FidelityDriven {
-                final_fidelity: 0.7,
-                round_fidelity: 0.95,
-            },
-            ..SimOptions::default()
-        });
+        let mut sim = Simulator::builder().fidelity_driven(0.7, 0.95).build();
         let run = sim.run(&circuit).unwrap();
         let product: f64 = run.stats.round_fidelities.iter().product();
         assert!((product - run.stats.fidelity).abs() < 1e-12);
@@ -565,23 +632,14 @@ mod tests {
     #[test]
     fn size_series_is_recorded_on_request() {
         let circuit = generators::ghz(5);
-        let mut sim = Simulator::new(SimOptions {
-            record_size_series: true,
-            ..SimOptions::default()
-        });
+        let mut sim = Simulator::builder().record_size_series(true).build();
         let run = sim.run(&circuit).unwrap();
         assert_eq!(run.stats.size_series.len(), circuit.gate_count());
     }
 
     #[test]
     fn invalid_strategy_is_rejected_before_running() {
-        let mut sim = Simulator::new(SimOptions {
-            strategy: Strategy::FidelityDriven {
-                final_fidelity: 2.0,
-                round_fidelity: 0.9,
-            },
-            ..SimOptions::default()
-        });
+        let mut sim = Simulator::builder().fidelity_driven(2.0, 0.9).build();
         assert!(matches!(
             sim.run(&generators::ghz(3)),
             Err(SimError::InvalidStrategy { .. })
@@ -607,17 +665,15 @@ mod tests {
             final_fidelity: 0.6,
             round_fidelity: 0.9,
         };
-        let mut node_sim = Simulator::new(SimOptions {
-            strategy,
-            primitive: crate::ApproxPrimitive::Nodes,
-            ..SimOptions::default()
-        });
+        let mut node_sim = Simulator::builder()
+            .strategy(strategy)
+            .primitive(crate::ApproxPrimitive::Nodes)
+            .build();
         let node_run = node_sim.run(&circuit).unwrap();
-        let mut edge_sim = Simulator::new(SimOptions {
-            strategy,
-            primitive: crate::ApproxPrimitive::Edges,
-            ..SimOptions::default()
-        });
+        let mut edge_sim = Simulator::builder()
+            .strategy(strategy)
+            .primitive(crate::ApproxPrimitive::Edges)
+            .build();
         let edge_run = edge_sim.run(&circuit).unwrap();
         // Both honor the floor; both primitives engage the same rounds.
         assert!(node_run.stats.fidelity >= 0.6 - 1e-9);
@@ -630,22 +686,42 @@ mod tests {
     }
 
     #[test]
+    fn one_session_runs_circuits_of_different_widths() {
+        // Regression: the gate cache is keyed by register width — a
+        // session reusing cached gate DDs across widths must not mix
+        // them up.
+        let mut sim = Simulator::default();
+        for circuit in [
+            generators::ghz(6),
+            generators::qft(5),
+            generators::ghz(6),
+            generators::w_state(4),
+        ] {
+            let run = sim.run(&circuit).unwrap();
+            let amps = sim.amplitudes(&run).unwrap();
+            let norm: f64 = amps.iter().map(|a| a.mag2()).sum();
+            assert!((norm - 1.0).abs() < 1e-9, "{}", circuit.name());
+        }
+    }
+
+    #[test]
     fn run_from_rejects_width_mismatch() {
         let mut sim = Simulator::default();
         let small = sim.package_mut().zero_state(2);
         assert!(matches!(
             sim.run_from(&generators::ghz(4), small),
-            Err(SimError::WidthMismatch { state: 2, circuit: 4 })
+            Err(SimError::WidthMismatch {
+                state: 2,
+                circuit: 4
+            })
         ));
     }
 
     #[test]
     fn run_survives_aggressive_gc() {
         let circuit = generators::random_circuit(8, 12, 3);
-        let mut sim = Simulator::new(SimOptions {
-            gc_node_threshold: 64, // force frequent collections
-            ..SimOptions::default()
-        });
+        // Force frequent collections.
+        let mut sim = Simulator::builder().gc_node_threshold(64).build();
         let run = sim.run(&circuit).unwrap();
         // State is intact: norm 1.
         let amps = sim.amplitudes(&run).unwrap();

@@ -197,7 +197,7 @@ impl Package {
                     reason: "truncation threshold must lie in [0, 1)",
                 });
             }
-            RemovalStrategy::KeepNodes(k) if k == 0 => {
+            RemovalStrategy::KeepNodes(0) => {
                 return Err(DdError::InvalidParameter {
                     reason: "must keep at least one node",
                 });
@@ -222,11 +222,7 @@ impl Package {
     ///
     /// [`DdError::InvalidParameter`] if the set contains the root or if
     /// removal would annihilate the entire state.
-    pub fn truncate_nodes(
-        &mut self,
-        root: VEdge,
-        nodes: &[NodeId],
-    ) -> Result<TruncationResult> {
+    pub fn truncate_nodes(&mut self, root: VEdge, nodes: &[NodeId]) -> Result<TruncationResult> {
         let contribs = self.contributions(root);
         let set: FxHashMap<NodeId, ()> = nodes.iter().map(|n| (*n, ())).collect();
         if set.contains_key(&root.node) {
@@ -551,7 +547,11 @@ mod tests {
         let victim = *cm
             .level(0)
             .iter()
-            .min_by(|a, b| cm.contribution(**a).partial_cmp(&cm.contribution(**b)).unwrap())
+            .min_by(|a, b| {
+                cm.contribution(**a)
+                    .partial_cmp(&cm.contribution(**b))
+                    .unwrap()
+            })
             .unwrap();
         let r1 = p.truncate_nodes(psi, &[victim]).unwrap();
         p.inc_ref(r1.edge);

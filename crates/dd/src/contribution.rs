@@ -56,10 +56,7 @@ impl ContributionMap {
     /// the analyzed state (1 for a unit state) for every populated level.
     #[must_use]
     pub fn level_sum(&self, var: usize) -> f64 {
-        self.level(var)
-            .iter()
-            .map(|n| self.contribution(*n))
-            .sum()
+        self.level(var).iter().map(|n| self.contribution(*n)).sum()
     }
 
     /// All `(node, contribution)` pairs sorted ascending by contribution

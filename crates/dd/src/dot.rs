@@ -31,7 +31,12 @@ impl Package {
             let node = self.vnode(id);
             let _ = writeln!(out, "  n{i} [label=\"q{}\", shape=circle];", node.var);
         }
-        let _ = writeln!(out, "  root -> {} [label=\"{}\"];", Self::dot_target(&ids, root.node), fmt_weight(root.w));
+        let _ = writeln!(
+            out,
+            "  root -> {} [label=\"{}\"];",
+            Self::dot_target(&ids, root.node),
+            fmt_weight(root.w)
+        );
         for (id, i) in order.iter().map(|id| (*id, ids[id])) {
             let node = self.vnode(id);
             for (b, e) in node.edges.iter().enumerate() {
@@ -75,7 +80,12 @@ impl Package {
             let node = self.mnode(id);
             let _ = writeln!(out, "  n{i} [label=\"q{}\", shape=circle];", node.var);
         }
-        let _ = writeln!(out, "  root -> {} [label=\"{}\"];", Self::dot_target(&ids, root.node), fmt_weight(root.w));
+        let _ = writeln!(
+            out,
+            "  root -> {} [label=\"{}\"];",
+            Self::dot_target(&ids, root.node),
+            fmt_weight(root.w)
+        );
         for (id, i) in order.iter().map(|id| (*id, ids[id])) {
             let node = self.mnode(id);
             for (q, e) in node.edges.iter().enumerate() {

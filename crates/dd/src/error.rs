@@ -55,7 +55,10 @@ impl fmt::Display for DdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DdError::QubitOutOfRange { qubit, n_qubits } => {
-                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {n_qubits}-qubit register"
+                )
             }
             DdError::TooManyQubits { n_qubits, max } => {
                 write!(f, "{n_qubits} qubits exceed the supported maximum of {max}")

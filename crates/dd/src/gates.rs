@@ -102,8 +102,14 @@ impl GateKind {
             }
             GateKind::S => [[one, zero], [zero, Cplx::I]],
             GateKind::Sdg => [[one, zero], [zero, Cplx::new(0.0, -1.0)]],
-            GateKind::T => [[one, zero], [zero, Cplx::from_polar(1.0, std::f64::consts::FRAC_PI_4)]],
-            GateKind::Tdg => [[one, zero], [zero, Cplx::from_polar(1.0, -std::f64::consts::FRAC_PI_4)]],
+            GateKind::T => [
+                [one, zero],
+                [zero, Cplx::from_polar(1.0, std::f64::consts::FRAC_PI_4)],
+            ],
+            GateKind::Tdg => [
+                [one, zero],
+                [zero, Cplx::from_polar(1.0, -std::f64::consts::FRAC_PI_4)],
+            ],
             GateKind::SxGate => {
                 let a = Cplx::new(0.5, 0.5);
                 let b = Cplx::new(0.5, -0.5);
@@ -199,9 +205,8 @@ impl BlockBody<'_> {
             }),
             BlockBody::Dense(m) => {
                 let dim = (m.len() as f64).sqrt() as usize;
-                (row0..row0 + size).all(|r| {
-                    (col0..col0 + size).all(|c| m[r * dim + c] == Cplx::ZERO)
-                })
+                (row0..row0 + size)
+                    .all(|r| (col0..col0 + size).all(|c| m[r * dim + c] == Cplx::ZERO))
             }
         }
     }
@@ -366,15 +371,10 @@ impl Package {
             });
         }
         let mut seen = vec![false; n_qubits];
-        for q in lo..lo + k {
-            seen[q] = true;
-        }
+        seen[lo..lo + k].fill(true);
         for &(c, _) in controls {
             if c >= n_qubits {
-                return Err(DdError::QubitOutOfRange {
-                    qubit: c,
-                    n_qubits,
-                });
+                return Err(DdError::QubitOutOfRange { qubit: c, n_qubits });
             }
             if seen[c] {
                 return Err(DdError::OverlappingQubits);
@@ -492,7 +492,11 @@ impl GateBuilder<'_> {
             } else {
                 MEdge::ZERO
             };
-            let (e00, e11) = if pol { (fallback, below) } else { (below, fallback) };
+            let (e00, e11) = if pol {
+                (fallback, below)
+            } else {
+                (below, fallback)
+            };
             p.make_mnode(v as u8, [e00, MEdge::ZERO, MEdge::ZERO, e11])
         } else {
             p.make_mnode(v as u8, [below, MEdge::ZERO, MEdge::ZERO, below])
@@ -501,6 +505,7 @@ impl GateBuilder<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // dense-matrix comparisons read clearest indexed
 mod tests {
     use super::*;
 
@@ -583,7 +588,9 @@ mod tests {
     #[test]
     fn toffoli_from_two_controls() {
         let mut p = Package::new();
-        let ccx = p.controlled_gate(3, &[0, 2], 1, GateKind::X.matrix()).unwrap();
+        let ccx = p
+            .controlled_gate(3, &[0, 2], 1, GateKind::X.matrix())
+            .unwrap();
         let m = to_dense(&mut p, ccx, 3);
         for c in 0..8usize {
             let fires = (c & 0b001 != 0) && (c & 0b100 != 0);

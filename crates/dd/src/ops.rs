@@ -201,8 +201,8 @@ impl Package {
         let an = *self.mnode(a.node);
         let bn = *self.mnode(b.node);
         let mut quads = [MEdge::ZERO; 4];
-        for i in 0..4 {
-            quads[i] = self.madd(an.edges[i].scaled(a.w), bn.edges[i].scaled(b.w));
+        for (i, quad) in quads.iter_mut().enumerate() {
+            *quad = self.madd(an.edges[i].scaled(a.w), bn.edges[i].scaled(b.w));
         }
         self.make_mnode(an.var, quads)
     }
@@ -343,11 +343,7 @@ impl Package {
         rebuilt.scaled(m.w.conj())
     }
 
-    fn conj_transpose_rec(
-        &mut self,
-        node: NodeId,
-        memo: &mut FxHashMap<NodeId, MEdge>,
-    ) -> MEdge {
+    fn conj_transpose_rec(&mut self, node: NodeId, memo: &mut FxHashMap<NodeId, MEdge>) -> MEdge {
         if node.is_terminal() {
             return MEdge::ONE;
         }

@@ -204,8 +204,14 @@ impl Package {
         } else {
             (Cplx::ZERO, Cplx::real(m1.sqrt() / norm))
         };
-        let e0 = VEdge { w: n0, node: e0.node };
-        let e1 = VEdge { w: n1, node: e1.node };
+        let e0 = VEdge {
+            w: n0,
+            node: e0.node,
+        };
+        let e1 = VEdge {
+            w: n1,
+            node: e1.node,
+        };
 
         let key = VKey {
             var,
@@ -269,7 +275,7 @@ impl Package {
             if i == pivot {
                 e.w = Cplx::ONE;
             } else {
-                e.w = e.w * inv;
+                e.w *= inv;
                 if self.tol.is_zero(e.w) {
                     *e = MEdge::ZERO;
                 }
@@ -391,10 +397,10 @@ impl Package {
                 max: MAX_DENSE_QUBITS,
             });
         }
-        Ok(self.from_amps_rec(amps, n))
+        Ok(self.build_dd_from_amps(amps, n))
     }
 
-    fn from_amps_rec(&mut self, amps: &[Cplx], n: usize) -> VEdge {
+    fn build_dd_from_amps(&mut self, amps: &[Cplx], n: usize) -> VEdge {
         if n == 0 {
             let w = amps[0];
             return if self.tol.is_zero(w) {
@@ -404,8 +410,8 @@ impl Package {
             };
         }
         let half = amps.len() / 2;
-        let e0 = self.from_amps_rec(&amps[..half], n - 1);
-        let e1 = self.from_amps_rec(&amps[half..], n - 1);
+        let e0 = self.build_dd_from_amps(&amps[..half], n - 1);
+        let e1 = self.build_dd_from_amps(&amps[half..], n - 1);
         self.make_vnode((n - 1) as u8, e0, e1)
     }
 
@@ -476,9 +482,8 @@ impl Package {
     /// "DD size" that the memory-driven strategy thresholds on.
     #[must_use]
     pub fn vsize(&self, e: VEdge) -> usize {
-        let mut seen = std::collections::HashSet::with_hasher(
-            crate::fasthash::FxBuildHasher::default(),
-        );
+        let mut seen =
+            std::collections::HashSet::with_hasher(crate::fasthash::FxBuildHasher::default());
         let mut stack = vec![e.node];
         let mut count = 0;
         while let Some(id) = stack.pop() {
@@ -496,9 +501,8 @@ impl Package {
     /// Number of non-terminal nodes reachable from a matrix edge.
     #[must_use]
     pub fn msize(&self, e: MEdge) -> usize {
-        let mut seen = std::collections::HashSet::with_hasher(
-            crate::fasthash::FxBuildHasher::default(),
-        );
+        let mut seen =
+            std::collections::HashSet::with_hasher(crate::fasthash::FxBuildHasher::default());
         let mut stack = vec![e.node];
         let mut count = 0;
         while let Some(id) = stack.pop() {
@@ -681,7 +685,10 @@ mod tests {
         ];
         let e = p.from_amplitudes(&amps).unwrap();
         let total: f64 = amps.iter().map(|a| a.mag2()).sum();
-        assert!((e.w.mag2() - total).abs() < 1e-12, "root weight carries the norm");
+        assert!(
+            (e.w.mag2() - total).abs() < 1e-12,
+            "root weight carries the norm"
+        );
         // Every node weight pair has unit l2 norm.
         let root = p.vnode(e.node);
         let s = root.edges[0].w.mag2() + root.edges[1].w.mag2();
@@ -705,7 +712,10 @@ mod tests {
         let amps2 = [amps1[0] * phase, amps1[1] * phase];
         let e1 = p.from_amplitudes(&amps1).unwrap();
         let e2 = p.from_amplitudes(&amps2).unwrap();
-        assert_eq!(e1.node, e2.node, "global phase must land on the edge weight");
+        assert_eq!(
+            e1.node, e2.node,
+            "global phase must land on the edge weight"
+        );
     }
 
     #[test]

@@ -76,7 +76,10 @@ impl Package {
     pub fn qubit_one_probability(&self, root: VEdge, q: usize) -> Result<f64> {
         let n = self.vlevel(root);
         if q >= n {
-            return Err(DdError::QubitOutOfRange { qubit: q, n_qubits: n });
+            return Err(DdError::QubitOutOfRange {
+                qubit: q,
+                n_qubits: n,
+            });
         }
         // Accumulate upstream mass down to level q, then take the |1⟩
         // branch mass (subtrees below have unit norm).
@@ -151,7 +154,10 @@ impl Package {
         }
         for &q in qubits {
             if q >= n {
-                return Err(DdError::QubitOutOfRange { qubit: q, n_qubits: n });
+                return Err(DdError::QubitOutOfRange {
+                    qubit: q,
+                    n_qubits: n,
+                });
             }
         }
         let mask: u64 = qubits.iter().map(|&q| 1u64 << q).sum();
@@ -170,11 +176,7 @@ impl Package {
 
     /// Measures **all** qubits: samples an outcome and returns it with
     /// the collapsed (basis) state.
-    pub fn measure_all<R: Rng + ?Sized>(
-        &mut self,
-        root: VEdge,
-        rng: &mut R,
-    ) -> (u64, VEdge) {
+    pub fn measure_all<R: Rng + ?Sized>(&mut self, root: VEdge, rng: &mut R) -> (u64, VEdge) {
         let n = self.vlevel(root);
         let outcome = self.sample(root, rng);
         let collapsed = self.basis_state(n, outcome);
@@ -209,7 +211,10 @@ impl Package {
     pub fn project_qubit(&mut self, root: VEdge, q: usize, bit: bool) -> Result<VEdge> {
         let n = self.vlevel(root);
         if q >= n {
-            return Err(DdError::QubitOutOfRange { qubit: q, n_qubits: n });
+            return Err(DdError::QubitOutOfRange {
+                qubit: q,
+                n_qubits: n,
+            });
         }
         let mut memo: FxHashMap<crate::edge::NodeId, VEdge> = FxHashMap::default();
         let rebuilt = self.project_rec(root.node, q as u8, bit, &mut memo);
@@ -401,9 +406,7 @@ mod tests {
         let mut p = Package::new();
         // |+>|0>: qubit 1 in superposition, qubit 0 fixed.
         let s = Cplx::FRAC_1_SQRT_2;
-        let v = p
-            .from_amplitudes(&[s, Cplx::ZERO, s, Cplx::ZERO])
-            .unwrap();
+        let v = p.from_amplitudes(&[s, Cplx::ZERO, s, Cplx::ZERO]).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let mut ones = 0;
         for _ in 0..1000 {

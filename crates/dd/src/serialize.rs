@@ -100,7 +100,9 @@ impl Package {
 
         let mut edges_by_local: Vec<VEdge> = Vec::with_capacity(count);
         for _ in 0..count {
-            let line = lines.next().ok_or_else(|| malformed("truncated node list"))?;
+            let line = lines
+                .next()
+                .ok_or_else(|| malformed("truncated node list"))?;
             let mut tok = line.split_whitespace();
             if tok.next() != Some("n") {
                 return Err(malformed("expected node line"));
@@ -249,7 +251,9 @@ impl Package {
 
         let mut edges_by_local: Vec<MEdge> = Vec::with_capacity(count);
         for _ in 0..count {
-            let line = lines.next().ok_or_else(|| malformed("truncated node list"))?;
+            let line = lines
+                .next()
+                .ok_or_else(|| malformed("truncated node list"))?;
             let mut tok = line.split_whitespace();
             if tok.next() != Some("n") {
                 return Err(malformed("expected node line"));

@@ -54,13 +54,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut s = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -89,7 +89,7 @@ pub fn perfect_power(n: u64) -> Option<(u64, u32)> {
     for k in (2..=n.ilog2()).rev() {
         let b = nth_root(n, k);
         for cand in [b.saturating_sub(1), b, b + 1] {
-            if cand >= 2 && cand.checked_pow(k).map_or(false, |p| p == n) {
+            if cand >= 2 && (cand.checked_pow(k) == Some(n)) {
                 return Some((cand, k));
             }
         }
@@ -101,10 +101,10 @@ pub fn perfect_power(n: u64) -> Option<(u64, u32)> {
 fn nth_root(n: u64, k: u32) -> u64 {
     let mut r = (n as f64).powf(1.0 / f64::from(k)).round() as u64;
     // Fix up floating error.
-    while r.checked_pow(k).map_or(true, |p| p > n) {
+    while r.checked_pow(k).is_none_or(|p| p > n) {
         r -= 1;
     }
-    while (r + 1).checked_pow(k).map_or(false, |p| p <= n) {
+    while (r + 1).checked_pow(k).is_some_and(|p| p <= n) {
         r += 1;
     }
     r
@@ -201,7 +201,12 @@ mod tests {
 
     #[test]
     fn modpow_matches_naive() {
-        for (b, e, m) in [(3u64, 7u64, 11u64), (2, 10, 1000), (5, 0, 7), (123, 45, 997)] {
+        for (b, e, m) in [
+            (3u64, 7u64, 11u64),
+            (2, 10, 1000),
+            (5, 0, 7),
+            (123, 45, 997),
+        ] {
             let mut naive = 1u64 % m;
             for _ in 0..e {
                 naive = naive * b % m;

@@ -56,10 +56,16 @@ impl fmt::Display for ShorError {
                 write!(f, "base {a} is not coprime to {n}")
             }
             ShorError::TooLarge { n, qubits } => {
-                write!(f, "factoring {n} needs {qubits} qubits, beyond engine limits")
+                write!(
+                    f,
+                    "factoring {n} needs {qubits} qubits, beyond engine limits"
+                )
             }
             ShorError::OrderNotFound { a, n } => {
-                write!(f, "no verified order of {a} mod {n} within the sample budget")
+                write!(
+                    f,
+                    "no verified order of {a} mod {n} within the sample budget"
+                )
             }
             ShorError::AttemptsExhausted { n, attempts } => {
                 write!(f, "failed to factor {n} after {attempts} attempts")

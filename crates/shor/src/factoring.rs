@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use approxdd_sim::{SimOptions, SimStats, Simulator, Strategy};
+use approxdd_sim::{SimStats, Simulator, Strategy};
 
 use crate::classical::{
     bit_length, gcd, is_prime, modpow, multiplicative_order, order_candidates, perfect_power,
@@ -80,10 +80,7 @@ pub struct FactorOutcome {
 /// budget.
 pub fn find_order(n: u64, a: u64, options: &FactorOptions) -> Result<OrderFinding> {
     let circuit = shor_circuit(n, a)?;
-    let mut sim = Simulator::new(SimOptions {
-        strategy: options.strategy,
-        ..SimOptions::default()
-    });
+    let mut sim = Simulator::builder().strategy(options.strategy).build();
     let run = sim.run(&circuit)?;
 
     let n_work = bit_length(n);
@@ -131,7 +128,7 @@ pub fn factor(n: u64, options: &FactorOptions) -> Result<FactorOutcome> {
     if n < 4 || is_prime(n) {
         return Err(ShorError::NotComposite { n });
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return Ok(FactorOutcome {
             factors: (2, n / 2),
             base: 2,
@@ -182,7 +179,7 @@ pub fn factor(n: u64, options: &FactorOptions) -> Result<FactorOutcome> {
         let p = gcd(half + 1, n);
         let q = gcd(half + n - 1, n);
         for f in [p, q] {
-            if f > 1 && f < n && n % f == 0 {
+            if f > 1 && f < n && n.is_multiple_of(f) {
                 return Ok(FactorOutcome {
                     factors: (f, n / f),
                     base: a,

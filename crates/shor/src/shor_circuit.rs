@@ -44,7 +44,7 @@ pub fn counting_qubits(n: u64) -> std::ops::Range<usize> {
 /// * [`ShorError::TooLarge`] if the 3n-qubit register exceeds engine
 ///   limits (work register ≤ 26 qubits).
 pub fn shor_circuit(n: u64, a: u64) -> Result<Circuit> {
-    if n < 3 || n % 2 == 0 {
+    if n < 3 || n.is_multiple_of(2) {
         return Err(ShorError::NotComposite { n });
     }
     if a < 2 || gcd(a, n) != 1 {
@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn multiplication_permutation_is_bijective() {
         let perm = multiplication_permutation(7, 15, 16);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for &p in &perm {
             assert!(!seen[p]);
             seen[p] = true;

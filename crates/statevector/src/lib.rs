@@ -340,11 +340,7 @@ impl State {
 
     /// Draws `shots` outcomes into a histogram.
     #[must_use]
-    pub fn sample_counts<R: Rng + ?Sized>(
-        &self,
-        shots: usize,
-        rng: &mut R,
-    ) -> HashMap<u64, usize> {
+    pub fn sample_counts<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> HashMap<u64, usize> {
         let mut counts = HashMap::new();
         for _ in 0..shots {
             *counts.entry(self.sample(rng)).or_insert(0) += 1;
@@ -361,6 +357,48 @@ impl State {
             }
         }
     }
+
+    /// Expectation value of a diagonal (computational-basis) observable
+    /// `O = Σ f(i) |i⟩⟨i|`: `Σ_i |a_i|² · f(i)`.
+    #[must_use]
+    pub fn expectation_diagonal(&self, f: &dyn Fn(u64) -> f64) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.mag2() * f(i as u64))
+            .sum()
+    }
+}
+
+/// Runs `circuit` from `|0…0⟩` on a fresh dense state.
+///
+/// # Errors
+///
+/// [`StateError::TooManyQubits`] beyond [`MAX_DENSE_QUBITS`], or the
+/// first per-operation error.
+pub fn run_circuit(circuit: &Circuit) -> Result<State, StateError> {
+    if circuit.n_qubits() > MAX_DENSE_QUBITS {
+        return Err(StateError::TooManyQubits {
+            n_qubits: circuit.n_qubits(),
+            max: MAX_DENSE_QUBITS,
+        });
+    }
+    let mut state = State::zero(circuit.n_qubits());
+    state.run(circuit)?;
+    Ok(state)
+}
+
+/// Runs a batch of circuits, one fresh dense state each — the
+/// statevector side of the `approxdd-backend` batched-execution API.
+///
+/// # Errors
+///
+/// The first failing circuit's error; earlier results are discarded.
+pub fn run_batch<'a, I>(circuits: I) -> Result<Vec<State>, StateError>
+where
+    I: IntoIterator<Item = &'a Circuit>,
+{
+    circuits.into_iter().map(run_circuit).collect()
 }
 
 #[cfg(test)]
@@ -488,6 +526,29 @@ mod tests {
         let counts = s.sample_counts(2000, &mut rng);
         let ones = *counts.get(&1).unwrap_or(&0) as f64;
         assert!((ones / 2000.0 - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn run_circuit_and_batch_helpers_agree_with_manual_runs() {
+        let ghz = generators::ghz(3);
+        let qft = generators::qft(3);
+        let states = run_batch([&ghz, &qft]).unwrap();
+        assert_eq!(states.len(), 2);
+        let mut manual = State::zero(3);
+        manual.run(&ghz).unwrap();
+        assert_eq!(states[0], manual);
+        assert!((states[1].norm() - 1.0).abs() < 1e-12);
+        let single = run_circuit(&ghz).unwrap();
+        assert_eq!(single, states[0]);
+    }
+
+    #[test]
+    fn diagonal_expectation_of_ghz_counts_excited_qubits() {
+        let mut s = State::zero(4);
+        s.run(&generators::ghz(4)).unwrap();
+        // Observable: number of 1-bits. GHZ: (0 + 4) / 2 = 2.
+        let value = s.expectation_diagonal(&|i| f64::from(i.count_ones()));
+        assert!((value - 2.0).abs() < 1e-12, "{value}");
     }
 
     #[test]

@@ -10,10 +10,9 @@
 //! cargo run --release --example grover_search [n_qubits]
 //! ```
 
+use approxdd::backend::{Backend, BuildBackend};
 use approxdd::circuit::generators;
-use approxdd::sim::{SimOptions, Simulator, Strategy};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use approxdd::sim::{Simulator, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: usize = std::env::args()
@@ -27,43 +26,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.gate_count()
     );
 
-    let mut rng = StdRng::seed_from_u64(7);
     for (label, strategy) in [
         ("exact        ", Strategy::Exact),
-        (
-            "f_final = 0.9",
-            Strategy::FidelityDriven {
-                final_fidelity: 0.9,
-                round_fidelity: 0.99,
-            },
-        ),
-        (
-            "f_final = 0.5",
-            Strategy::FidelityDriven {
-                final_fidelity: 0.5,
-                round_fidelity: 0.9,
-            },
-        ),
-        (
-            "f_final = 0.2",
-            Strategy::FidelityDriven {
-                final_fidelity: 0.2,
-                round_fidelity: 0.8,
-            },
-        ),
+        ("f_final = 0.9", Strategy::fidelity_driven(0.9, 0.99)),
+        ("f_final = 0.5", Strategy::fidelity_driven(0.5, 0.9)),
+        ("f_final = 0.2", Strategy::fidelity_driven(0.2, 0.8)),
     ] {
-        let mut sim = Simulator::new(SimOptions {
-            strategy,
-            ..SimOptions::default()
-        });
-        let run = sim.run(&circuit)?;
+        let mut backend = Simulator::builder()
+            .strategy(strategy)
+            .seed(7)
+            .build_backend();
+        let exe = backend.prepare(&circuit)?;
+        let run = backend.run(&exe)?;
         let shots = 500;
-        let counts = sim.sample_counts(&run, shots, &mut rng);
+        let counts = backend.sample_counts(&run, shots);
         let hits = counts.get(&marked).copied().unwrap_or(0);
         println!(
             "{label}: marked sampled {hits:>3}/{shots}  (measured f_final {:.3}, {} rounds, max DD {})",
-            run.stats.fidelity, run.stats.approx_rounds, run.stats.max_dd_size
+            run.stats.fidelity, run.stats.approx_rounds, run.stats.peak_size
         );
+        backend.release(run);
     }
     println!("\nMild approximation (f_final ≈ 0.9) leaves the search intact; aggressive");
     println!("early truncation can zero out the still-small marked amplitude and break");

@@ -5,8 +5,9 @@
 //! cargo run --release --example qasm_roundtrip
 //! ```
 
+use approxdd::backend::{Backend, BuildBackend};
 use approxdd::circuit::{generators, qasm};
-use approxdd::sim::{SimOptions, Simulator};
+use approxdd::sim::Simulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = generators::qft(6);
@@ -24,10 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reimported.n_qubits()
     );
 
-    let mut sim = Simulator::new(SimOptions::default());
-    let run_a = sim.run(&circuit)?;
-    let run_b = sim.run(&reimported)?;
-    let fidelity = sim.fidelity_between(&run_a, &run_b);
+    let mut backend = Simulator::builder().exact().build_backend();
+    let batch = backend.run_batch(&[backend.prepare(&circuit)?, backend.prepare(&reimported)?])?;
+    let fidelity = backend.fidelity_between(&batch[0], &batch[1]);
     println!("fidelity(original, reimported) = {fidelity:.12}");
     assert!((fidelity - 1.0).abs() < 1e-9);
     println!("round-trip is exact.");

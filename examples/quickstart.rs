@@ -1,46 +1,71 @@
-//! Quickstart: build a GHZ state, simulate it on decision diagrams,
-//! inspect the representation, and sample measurements.
+//! Quickstart: run the same circuit through **both** engines via the
+//! unified `Backend` API, compare them, then showcase what makes
+//! decision diagrams special (exponential compression, DOT export).
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use approxdd::circuit::generators;
-use approxdd::sim::{SimOptions, Simulator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use approxdd::backend::{Backend, BuildBackend, ExecError, StatevectorBackend};
+use approxdd::circuit::{generators, Circuit};
+use approxdd::sim::Simulator;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 24;
-    let circuit = generators::ghz(n);
-    println!("circuit: {} ({} gates on {n} qubits)", circuit.name(), circuit.gate_count());
-
-    let mut sim = Simulator::new(SimOptions::default());
-    let run = sim.run(&circuit)?;
-
-    // The GHZ state is the showcase of DD compression: one node per
-    // qubit regardless of the 2^24 amplitudes it represents.
+/// One generic driver serves every engine: prepare, run, report the
+/// unified stats, sample a histogram, release.
+fn showcase<B: Backend>(backend: &mut B, circuit: &Circuit) -> Result<(), ExecError> {
+    let exe = backend.prepare(circuit)?;
+    let run = backend.run(&exe)?;
     println!(
-        "final DD size: {} nodes (dense vector would need {} amplitudes)",
-        sim.package().vsize(run.state()),
-        1u64 << n
+        "[{:<11}] peak representation {:>6} | {} gates in {:?}",
+        backend.name(),
+        run.stats.peak_size,
+        run.stats.gates_applied,
+        run.stats.runtime
     );
-    println!("max DD size during simulation: {}", run.stats.max_dd_size);
-    println!("runtime: {:?}", run.stats.runtime);
-
-    let mut rng = StdRng::seed_from_u64(2024);
-    let counts = sim.sample_counts(&run, 1000, &mut rng);
-    let mut entries: Vec<(u64, usize)> = counts.into_iter().collect();
-    entries.sort();
-    println!("\nmeasurement histogram (1000 shots):");
+    let mut entries: Vec<(u64, usize)> = backend.sample_counts(&run, 1000).into_iter().collect();
+    entries.sort_unstable();
+    let n = run.n_qubits();
     for (outcome, count) in entries {
         println!("  |{outcome:0n$b}> : {count}");
     }
+    backend.release(run);
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 16;
+    let circuit = generators::ghz(n);
+    println!(
+        "circuit: {} ({} gates on {n} qubits), 1000 shots on each backend\n",
+        circuit.name(),
+        circuit.gate_count()
+    );
+
+    // The two engines behind the same trait: approximate decision
+    // diagrams and the dense exact baseline.
+    let mut dd = Simulator::builder().seed(2024).build_backend();
+    let mut sv = StatevectorBackend::with_seed(2024);
+    showcase(&mut dd, &circuit)?;
+    showcase(&mut sv, &circuit)?;
+
+    // The GHZ state is the showcase of DD compression: one node per
+    // qubit regardless of the 2^24 amplitudes it represents. The raw
+    // simulator stays available underneath the backend.
+    let wide = generators::ghz(24);
+    let sim = dd.sim_mut();
+    let run = sim.run(&wide)?;
+    println!(
+        "\n24-qubit GHZ on DDs: {} nodes (a dense vector would need {} amplitudes)",
+        sim.package().vsize(run.state()),
+        1u64 << 24
+    );
 
     // Render a small instance as Graphviz DOT (Fig. 1 style).
     let small = generators::ghz(3);
-    let mut sim_small = Simulator::new(SimOptions::default());
-    let run_small = sim_small.run(&small)?;
-    println!("\nDOT of the 3-qubit GHZ decision diagram:\n{}", sim_small.package().to_dot(run_small.state()));
+    let run_small = sim.run(&small)?;
+    println!(
+        "\nDOT of the 3-qubit GHZ decision diagram:\n{}",
+        sim.package().to_dot(run_small.state())
+    );
     Ok(())
 }

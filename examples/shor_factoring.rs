@@ -17,17 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(33);
     let a: Option<u64> = args.get(1).and_then(|s| s.parse().ok());
 
-    println!("factoring N = {n} (base: {})", a.map_or("auto".into(), |a| a.to_string()));
+    println!(
+        "factoring N = {n} (base: {})",
+        a.map_or("auto".into(), |a| a.to_string())
+    );
 
     for (label, strategy) in [
         ("exact            ", Strategy::Exact),
-        (
-            "approx f_final=.5",
-            Strategy::FidelityDriven {
-                final_fidelity: 0.5,
-                round_fidelity: 0.9,
-            },
-        ),
+        ("approx f_final=.5", Strategy::fidelity_driven(0.5, 0.9)),
     ] {
         let opts = FactorOptions {
             strategy,

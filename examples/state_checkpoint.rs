@@ -7,7 +7,7 @@
 //! ```
 
 use approxdd::circuit::{generators, Circuit};
-use approxdd::sim::{SimOptions, Simulator, Strategy};
+use approxdd::sim::Simulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 12;
@@ -20,13 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for op in &ops[..half] {
         first.push(op.clone());
     }
-    let mut sim_a = Simulator::new(SimOptions {
-        strategy: Strategy::FidelityDriven {
-            final_fidelity: 0.7,
-            round_fidelity: 0.95,
-        },
-        ..SimOptions::default()
-    });
+    let mut sim_a = Simulator::builder().fidelity_driven(0.7, 0.95).build();
     let run_a = sim_a.run(&first)?;
     println!(
         "first half : {} gates, DD {} nodes, f so far {:.4}",
@@ -52,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // in the new package, so bit-identical cross-checks need the exact
     // tail used here.)
     let restored_text = std::fs::read_to_string(&path)?;
-    let mut sim_b = Simulator::new(SimOptions::default());
+    let mut sim_b = Simulator::builder().exact().build();
     let state = sim_b.package_mut().deserialize_state(&restored_text)?;
     let mut second = Circuit::new(n, "second_half");
     for op in &ops[half..] {
@@ -67,15 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cross-check against an uninterrupted run of the same pipeline
     // (approximate first half, exact second half).
-    let mut sim_c = Simulator::new(SimOptions {
-        strategy: Strategy::FidelityDriven {
-            final_fidelity: 0.7,
-            round_fidelity: 0.95,
-        },
-        ..SimOptions::default()
-    });
+    let mut sim_c = Simulator::builder().fidelity_driven(0.7, 0.95).build();
     let run_first = sim_c.run(&first)?;
-    let mut sim_c_tail = Simulator::new(SimOptions::default());
+    let mut sim_c_tail = Simulator::builder().exact().build();
     let tail_state = sim_c_tail
         .package_mut()
         .deserialize_state(&sim_c.package().serialize_state(run_first.state()))?;

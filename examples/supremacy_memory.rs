@@ -1,15 +1,17 @@
 //! Memory-driven approximation on quantum-supremacy circuits — the
 //! paper's reactive strategy (Section IV-B): when the decision diagram
-//! outgrows a node threshold, truncate to a per-round fidelity and
-//! double the threshold, trading accuracy for a representation that
-//! fits in memory.
+//! outgrows a node threshold, truncate to a per-round fidelity, trading
+//! accuracy for a representation that fits in memory. The circuit is
+//! prepared once into a `Backend` `Executable` and the same executable
+//! is re-run across differently-configured backends for the sweep.
 //!
 //! ```text
 //! cargo run --release --example supremacy_memory [rows cols depth]
 //! ```
 
+use approxdd::backend::{Backend, BuildBackend};
 use approxdd::circuit::generators;
-use approxdd::sim::{SimOptions, Simulator, Strategy};
+use approxdd::sim::Simulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<usize> = std::env::args()
@@ -28,36 +30,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.gate_count()
     );
 
-    // Exact reference.
-    let mut exact = Simulator::new(SimOptions::default());
-    let exact_run = exact.run(&circuit)?;
+    // Exact reference through the same API.
+    let mut exact = Simulator::builder().exact().build_backend();
+    let exe = exact.prepare(&circuit)?;
+    let exact_run = exact.run(&exe)?;
     println!(
         "\nexact:  max DD {:>8} nodes, runtime {:?}",
-        exact_run.stats.max_dd_size, exact_run.stats.runtime
+        exact_run.stats.peak_size, exact_run.stats.runtime
     );
+    exact.release(exact_run);
 
-    // Memory-driven at three per-round fidelities (the Table-I sweep).
+    // Memory-driven at three per-round fidelities (the Table-I sweep,
+    // fixed threshold — the regime the table reports).
     let threshold = 1 << 11;
     for f_round in [0.99, 0.975, 0.95] {
-        let mut sim = Simulator::new(SimOptions {
-            strategy: Strategy::MemoryDriven {
-                node_threshold: threshold,
-                round_fidelity: f_round,
-                threshold_growth: 1.0,
-            },
-            ..SimOptions::default()
-        });
-        let run = sim.run(&circuit)?;
+        let mut backend = Simulator::builder()
+            .memory_driven_table1(threshold, f_round)
+            .build_backend();
+        let run = backend.run(&exe)?;
         println!(
             "f_round {f_round:<5}: max DD {:>8} nodes, {:>2} rounds, runtime {:?}, f_final {:.4}",
-            run.stats.max_dd_size,
-            run.stats.approx_rounds,
-            run.stats.runtime,
-            run.stats.fidelity
+            run.stats.peak_size, run.stats.approx_rounds, run.stats.runtime, run.stats.fidelity
         );
+        backend.release(run);
     }
     println!(
-        "\n(threshold starts at {threshold} nodes and doubles per round; lower f_round\n trades more fidelity for smaller DDs and faster simulation)"
+        "\n(threshold fixed at {threshold} nodes — `memory_driven_table1`; lower f_round\n trades more fidelity for smaller DDs and faster simulation)"
     );
     Ok(())
 }

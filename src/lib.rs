@@ -13,28 +13,52 @@
 //! * [`circuit`] — circuit IR, builders and benchmark generators,
 //! * [`statevector`] — the dense-array baseline simulator,
 //! * [`sim`] — the approximate simulator (memory-driven and
-//!   fidelity-driven strategies),
+//!   fidelity-driven strategies) and its [`sim::SimulatorBuilder`],
+//! * [`backend`] — the unified [`backend::Backend`] execution API over
+//!   both engines (prepare / run / batched runs / sampling / queries),
 //! * [`shor`] — Shor's algorithm end-to-end.
 //!
 //! # Quickstart
 //!
+//! Configure a simulator with the fluent builder, run, and sample with
+//! the simulator's owned (seeded) RNG:
+//!
 //! ```
 //! use approxdd::circuit::generators;
-//! use approxdd::sim::{SimOptions, Simulator};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use approxdd::sim::Simulator;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let circuit = generators::ghz(8);
-//! let mut sim = Simulator::new(SimOptions::default());
+//! let mut sim = Simulator::builder().seed(1).build();
 //! let run = sim.run(&circuit)?;
-//! let mut rng = StdRng::seed_from_u64(1);
-//! let outcome = sim.sample(&run, &mut rng);
+//! let outcome = sim.draw(&run);
 //! assert!(outcome == 0 || outcome == 0xFF);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The same workload through the engine-agnostic [`backend::Backend`]
+//! trait, on both engines:
+//!
+//! ```
+//! use approxdd::backend::{amplitudes_of, Backend, BuildBackend, StatevectorBackend};
+//! use approxdd::circuit::generators;
+//! use approxdd::sim::Simulator;
+//!
+//! # fn main() -> Result<(), approxdd::backend::ExecError> {
+//! let circuit = generators::ghz(8);
+//! let mut dd = Simulator::builder().seed(1).build_backend();
+//! let mut sv = StatevectorBackend::with_seed(1);
+//! let a = amplitudes_of(&mut dd, &circuit)?;
+//! let b = amplitudes_of(&mut sv, &circuit)?;
+//! for (x, y) in a.iter().zip(&b) {
+//!     assert!((*x - *y).mag() < 1e-12);
+//! }
+//! # Ok(())
+//! # }
+//! ```
 
+pub use approxdd_backend as backend;
 pub use approxdd_circuit as circuit;
 pub use approxdd_complex as complex;
 pub use approxdd_dd as dd;

@@ -1,0 +1,172 @@
+//! The unified `Backend` API, exercised generically: one
+//! `check_backend::<B>()` suite runs the standard workloads (GHZ, QFT,
+//! one supremacy instance) on any engine and validates its whole
+//! lifecycle — prepare, run, batched runs, sampling, histograms,
+//! amplitudes, probabilities, expectations, release — then the engines
+//! are compared against each other for amplitude and fidelity
+//! agreement.
+
+use approxdd::backend::{amplitudes_of, Backend, BuildBackend, ExecError, StatevectorBackend};
+use approxdd::circuit::{generators, Circuit};
+use approxdd::complex::Cplx;
+use approxdd::sim::Simulator;
+
+fn workloads() -> Vec<Circuit> {
+    vec![
+        generators::ghz(8),
+        generators::qft(6),
+        generators::supremacy(2, 3, 10, 5),
+    ]
+}
+
+/// The generic per-engine contract: every workload runs through the
+/// full lifecycle with self-consistent results.
+fn check_backend<B: Backend>(backend: &mut B) {
+    let circuits = workloads();
+    let exes: Vec<_> = circuits
+        .iter()
+        .map(|c| {
+            backend
+                .prepare(c)
+                .unwrap_or_else(|e| panic!("{}: prepare {}: {e}", backend.name(), c.name()))
+        })
+        .collect();
+
+    // Batched and single runs must describe the same states.
+    let outcomes = backend.run_batch(&exes).expect("batch");
+    assert_eq!(outcomes.len(), circuits.len());
+    for (outcome, circuit) in outcomes.iter().zip(&circuits) {
+        assert_eq!(outcome.n_qubits(), circuit.n_qubits());
+        assert_eq!(
+            outcome.stats.gates_applied,
+            circuit.gate_count(),
+            "{}: {}",
+            backend.name(),
+            circuit.name()
+        );
+        assert!((outcome.stats.fidelity - 1.0).abs() < 1e-12, "exact run");
+
+        // Amplitudes are a unit vector; probabilities match them.
+        let amps = backend.amplitudes(outcome).expect("amplitudes");
+        assert_eq!(amps.len(), 1 << circuit.n_qubits());
+        let norm: f64 = amps.iter().map(|a| a.mag2()).sum();
+        assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
+        for idx in [0u64, (1 << circuit.n_qubits()) - 1] {
+            let p = backend.probability(outcome, idx).expect("probability");
+            assert!((p - amps[idx as usize].mag2()).abs() < 1e-12);
+        }
+
+        // Expectation of the identity observable is 1.
+        let one = backend.expectation(outcome, &|_| 1.0).expect("expectation");
+        assert!((one - 1.0).abs() < 1e-9);
+
+        // Histograms agree with per-shot sampling under the same seed.
+        backend.reseed(1234);
+        let counts = backend.sample_counts(outcome, 200);
+        assert_eq!(counts.values().sum::<usize>(), 200);
+        backend.reseed(1234);
+        let mut replay = std::collections::HashMap::new();
+        for _ in 0..200 {
+            *replay.entry(backend.sample(outcome)).or_insert(0) += 1;
+        }
+        assert_eq!(
+            counts,
+            replay,
+            "{}: sampling not deterministic",
+            backend.name()
+        );
+    }
+    for outcome in outcomes {
+        backend.release(outcome);
+    }
+
+    // Out-of-range queries fail loudly rather than lying.
+    let exe = backend.prepare(&generators::ghz(3)).expect("prepare");
+    let run = backend.run(&exe).expect("run");
+    assert!(matches!(
+        backend.probability(&run, 1 << 3),
+        Err(ExecError::BasisOutOfRange { .. })
+    ));
+    backend.release(run);
+}
+
+#[test]
+fn dd_backend_satisfies_the_contract() {
+    check_backend(&mut Simulator::builder().seed(5).build_backend());
+}
+
+#[test]
+fn statevector_backend_satisfies_the_contract() {
+    check_backend(&mut StatevectorBackend::with_seed(5));
+}
+
+#[test]
+fn engines_agree_on_amplitudes_and_fidelity() {
+    let mut dd = Simulator::builder().seed(9).build_backend();
+    let mut sv = StatevectorBackend::with_seed(9);
+    for circuit in workloads() {
+        let a = amplitudes_of(&mut dd, &circuit).expect("dd");
+        let b = amplitudes_of(&mut sv, &circuit).expect("sv");
+        let mut ip = Cplx::ZERO;
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                (*x - *y).mag() < 1e-9,
+                "{}: amplitude mismatch {x} vs {y}",
+                circuit.name()
+            );
+            ip += x.conj() * *y;
+        }
+        let fidelity = ip.mag2();
+        assert!(
+            (fidelity - 1.0).abs() < 1e-9,
+            "{}: cross-engine fidelity {fidelity}",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn executables_are_portable_across_engines() {
+    // Preparation is engine-agnostic: an executable prepared by one
+    // backend runs on the other.
+    let circuit = generators::w_state(6);
+    let mut dd = Simulator::builder().build_backend();
+    let mut sv = StatevectorBackend::new();
+    let exe = dd.prepare(&circuit).expect("prepare on dd");
+    let sv_run = sv.run(&exe).expect("run on sv");
+    let dd_run = dd.run(&exe).expect("run on dd");
+    let p_dd = dd.probability(&dd_run, 1).expect("dd p");
+    let p_sv = sv.probability(&sv_run, 1).expect("sv p");
+    assert!((p_dd - p_sv).abs() < 1e-12);
+    assert!((p_dd - 1.0 / 6.0).abs() < 1e-9);
+    dd.release(dd_run);
+    sv.release(sv_run);
+}
+
+#[test]
+fn approximating_backend_reports_honest_fidelity_vs_exact_engine() {
+    // The comparative shape of the paper as one generic flow: an
+    // approximate DD run scored against the exact dense baseline.
+    let circuit = generators::supremacy(2, 3, 12, 7);
+    let mut approx = Simulator::builder()
+        .fidelity_driven(0.6, 0.9)
+        .seed(1)
+        .build_backend();
+    let run = approxdd::backend::run_circuit(&mut approx, &circuit).expect("approx");
+    let reported = run.stats.fidelity;
+    assert!(run.stats.approx_rounds > 0, "approximation must engage");
+    let approx_amps = approx.amplitudes(&run).expect("amps");
+    approx.release(run);
+
+    let exact_amps = amplitudes_of(&mut StatevectorBackend::new(), &circuit).expect("exact");
+    let mut ip = Cplx::ZERO;
+    for (e, a) in exact_amps.iter().zip(&approx_amps) {
+        ip += e.conj() * *a;
+    }
+    let measured = ip.mag2();
+    assert!(reported >= 0.6 - 1e-9);
+    assert!(
+        (measured - reported).abs() < 0.05,
+        "reported {reported} vs measured {measured}"
+    );
+}

@@ -1,31 +1,30 @@
 //! Integration: the DD simulator must agree exactly with the dense
 //! state-vector baseline on every workload family, and approximation
-//! must degrade gracefully with measurable fidelity.
+//! must degrade gracefully with measurable fidelity. Both engines are
+//! driven through the unified `Backend` trait, so an equivalence check
+//! is one generic function.
 
+use approxdd::backend::{amplitudes_of, Backend, BuildBackend, StatevectorBackend};
 use approxdd::circuit::{generators, Circuit};
 use approxdd::complex::Cplx;
-use approxdd::sim::{SimOptions, Simulator, Strategy};
-use approxdd::statevector::State;
+use approxdd::sim::Simulator;
 
-fn dd_amplitudes(circuit: &Circuit) -> Vec<Cplx> {
-    let mut sim = Simulator::new(SimOptions::default());
-    let run = sim.run(circuit).expect("dd run");
-    sim.amplitudes(&run).expect("amplitudes")
-}
-
-fn sv_amplitudes(circuit: &Circuit) -> Vec<Cplx> {
-    let mut s = State::zero(circuit.n_qubits());
-    s.run(circuit).expect("sv run");
-    s.amplitudes().to_vec()
+/// The generic half of every check: final amplitudes of `circuit` on
+/// any backend.
+fn backend_amplitudes<B: Backend>(backend: &mut B, circuit: &Circuit) -> Vec<Cplx> {
+    amplitudes_of(backend, circuit)
+        .unwrap_or_else(|e| panic!("{} run of {}: {e}", backend.name(), circuit.name()))
 }
 
 fn assert_same_state(circuit: &Circuit) {
-    let dd = dd_amplitudes(circuit);
-    let sv = sv_amplitudes(circuit);
-    for (i, (a, b)) in dd.iter().zip(&sv).enumerate() {
+    let mut dd = Simulator::builder().exact().build_backend();
+    let mut sv = StatevectorBackend::new();
+    let a = backend_amplitudes(&mut dd, circuit);
+    let b = backend_amplitudes(&mut sv, circuit);
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
         assert!(
-            (*a - *b).mag() < 1e-9,
-            "{}: amplitude {i}: dd={a} sv={b}",
+            (*x - *y).mag() < 1e-9,
+            "{}: amplitude {i}: dd={x} sv={y}",
             circuit.name()
         );
     }
@@ -57,16 +56,14 @@ fn approximate_fidelity_is_honest_against_dense_reference() {
     // check the *reported* fidelity (product of round fidelities)
     // equals the true overlap — Lemma 1 end-to-end.
     let circuit = generators::supremacy(3, 3, 12, 4);
-    let mut sim = Simulator::new(SimOptions {
-        strategy: Strategy::FidelityDriven {
-            final_fidelity: 0.5,
-            round_fidelity: 0.9,
-        },
-        ..SimOptions::default()
-    });
-    let run = sim.run(&circuit).expect("approx run");
-    let approx = sim.amplitudes(&run).expect("amps");
-    let exact = sv_amplitudes(&circuit);
+    let mut dd = Simulator::builder()
+        .fidelity_driven(0.5, 0.9)
+        .build_backend();
+    let run = approxdd::backend::run_circuit(&mut dd, &circuit).expect("approx run");
+    let reported = run.stats.fidelity;
+    let approx = dd.amplitudes(&run).expect("amps");
+    dd.release(run);
+    let exact = backend_amplitudes(&mut StatevectorBackend::new(), &circuit);
     let mut ip = Cplx::ZERO;
     for (e, a) in exact.iter().zip(&approx) {
         ip += e.conj() * *a;
@@ -77,28 +74,20 @@ fn approximate_fidelity_is_honest_against_dense_reference() {
     // already-approximated state, so the product is an estimate. It must
     // track the true overlap within a few percent.
     assert!(
-        (true_fidelity - run.stats.fidelity).abs() < 0.05,
-        "reported {} vs true {}",
-        run.stats.fidelity,
-        true_fidelity
+        (true_fidelity - reported).abs() < 0.05,
+        "reported {reported} vs true {true_fidelity}"
     );
-    assert!(run.stats.fidelity >= 0.5 - 1e-9);
+    assert!(reported >= 0.5 - 1e-9);
 }
 
 #[test]
 fn memory_driven_state_stays_normalized() {
     let circuit = generators::supremacy(3, 3, 14, 2);
-    let mut sim = Simulator::new(SimOptions {
-        strategy: Strategy::MemoryDriven {
-            node_threshold: 64,
-            round_fidelity: 0.95,
-            threshold_growth: 2.0,
-        },
-        ..SimOptions::default()
-    });
-    let run = sim.run(&circuit).expect("run");
-    let amps = sim.amplitudes(&run).expect("amps");
+    let mut dd = Simulator::builder().memory_driven(64, 0.95).build_backend();
+    let run = approxdd::backend::run_circuit(&mut dd, &circuit).expect("run");
+    let amps = dd.amplitudes(&run).expect("amps");
     let norm: f64 = amps.iter().map(|a| a.mag2()).sum();
     assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
     assert!(run.stats.approx_rounds > 0);
+    dd.release(run);
 }

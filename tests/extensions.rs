@@ -4,12 +4,12 @@
 
 use approxdd::circuit::generators;
 use approxdd::dd::Package;
-use approxdd::sim::{ApproxPrimitive, SimOptions, Simulator, Strategy};
+use approxdd::sim::{ApproxPrimitive, Simulator, Strategy};
 
 #[test]
 fn fused_and_sequential_shor_agree() {
     let circuit = approxdd::shor::shor_circuit(15, 7).expect("circuit");
-    let mut sim = Simulator::new(SimOptions::default());
+    let mut sim = Simulator::builder().exact().build();
     let seq = sim.run(&circuit).expect("sequential");
     let fused = sim.run_fused(&circuit, 8).expect("fused");
     let f = sim.fidelity_between(&seq, &fused);
@@ -44,7 +44,7 @@ fn serialized_gate_cache_survives_processes() {
 fn marginals_match_sampling_histogram() {
     use rand::SeedableRng;
     let circuit = generators::supremacy(2, 3, 8, 6);
-    let mut sim = Simulator::new(SimOptions::default());
+    let mut sim = Simulator::builder().exact().build();
     let run = sim.run(&circuit).expect("run");
     let dist = sim
         .package()
@@ -70,15 +70,10 @@ fn edge_primitive_needs_no_more_rounds_than_node_primitive() {
     // respect the threshold mechanics and produce valid states.
     let circuit = generators::supremacy(3, 3, 10, 2);
     for primitive in [ApproxPrimitive::Nodes, ApproxPrimitive::Edges] {
-        let mut sim = Simulator::new(SimOptions {
-            strategy: Strategy::MemoryDriven {
-                node_threshold: 64,
-                round_fidelity: 0.95,
-                threshold_growth: 1.0,
-            },
-            primitive,
-            ..SimOptions::default()
-        });
+        let mut sim = Simulator::builder()
+            .strategy(Strategy::memory_driven_table1(64, 0.95))
+            .primitive(primitive)
+            .build();
         let run = sim.run(&circuit).expect("run");
         assert!(run.stats.approx_rounds > 0, "{primitive:?} must engage");
         assert!(run.stats.fidelity > 0.0 && run.stats.fidelity <= 1.0);
@@ -90,7 +85,7 @@ fn edge_primitive_needs_no_more_rounds_than_node_primitive() {
 
 #[test]
 fn dot_export_renders_simulated_states() {
-    let mut sim = Simulator::new(SimOptions::default());
+    let mut sim = Simulator::builder().exact().build();
     let run = sim.run(&generators::w_state(4)).expect("run");
     let dot = sim.package().to_dot(run.state());
     assert!(dot.contains("digraph"));

@@ -12,7 +12,11 @@ fn unit_state(n: usize) -> impl Strategy<Value = Vec<Cplx>> {
     prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1 << n).prop_filter_map(
         "non-degenerate norm",
         |pairs| {
-            let norm: f64 = pairs.iter().map(|(re, im)| re * re + im * im).sum::<f64>().sqrt();
+            let norm: f64 = pairs
+                .iter()
+                .map(|(re, im)| re * re + im * im)
+                .sum::<f64>()
+                .sqrt();
             if norm < 1e-3 {
                 return None;
             }

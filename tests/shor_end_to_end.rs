@@ -82,15 +82,11 @@ fn approximation_shrinks_shor_dd() {
     // The fidelity-driven run must reach a smaller max DD than exact on
     // the same instance (the Table-I effect).
     let circuit = approxdd::shor::shor_circuit(33, 5).expect("circuit");
-    let mut exact = approxdd::sim::Simulator::new(approxdd::sim::SimOptions::default());
+    let mut exact = approxdd::sim::Simulator::builder().exact().build();
     let exact_run = exact.run(&circuit).expect("exact");
-    let mut approx = approxdd::sim::Simulator::new(approxdd::sim::SimOptions {
-        strategy: Strategy::FidelityDriven {
-            final_fidelity: 0.5,
-            round_fidelity: 0.9,
-        },
-        ..approxdd::sim::SimOptions::default()
-    });
+    let mut approx = approxdd::sim::Simulator::builder()
+        .fidelity_driven(0.5, 0.9)
+        .build();
     let approx_run = approx.run(&circuit).expect("approx");
     assert!(
         approx_run.stats.max_dd_size <= exact_run.stats.max_dd_size,

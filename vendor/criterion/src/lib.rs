@@ -1,0 +1,189 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! Provides the benchmarking surface this workspace uses —
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `Bencher::iter` / `iter_batched` — with a simple adaptive wall-clock
+//! harness instead of criterion's statistical machinery: each benchmark
+//! is warmed up, then timed over enough iterations to fill a small
+//! measurement budget, and the mean time per iteration is printed.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted for API parity; the
+/// harness always runs setup per batch of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs.
+    SmallInput,
+    /// Large routine inputs.
+    LargeInput,
+    /// Setup re-run for every iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Substring filter from the command line (`cargo bench -- filter`).
+    filter: Option<String>,
+    /// Wall-clock budget per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Self {
+            filter,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the adaptive harness sizes itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark if it passes the command-line filter.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            budget: self.criterion.measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((iters, total)) => {
+                let per_iter = total / u32::try_from(iters.max(1)).unwrap_or(u32::MAX);
+                println!("{full:<60} {per_iter:>12.2?}/iter ({iters} iters in {total:.2?})");
+            }
+            None => println!("{full:<60} (no measurement)"),
+        }
+        self
+    }
+
+    /// Ends the group (no-op; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Measures a closure under a fixed wall-clock budget.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: one untimed call.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), start.elapsed()));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let wall = Instant::now();
+        while measured < self.budget && wall.elapsed() < self.budget * 4 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), measured));
+    }
+}
+
+/// Declares a group runner function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_harness_measures() {
+        let mut c = Criterion {
+            filter: None,
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}
