@@ -35,6 +35,13 @@ pub enum ExecError {
         /// What was requested.
         what: &'static str,
     },
+    /// A pool worker terminated (panicked or was torn down) before
+    /// returning a job's result. Produced by the `approxdd-exec`
+    /// execution layer, never by a single-threaded backend.
+    WorkerLost {
+        /// Index of the job whose result was lost.
+        job: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -50,6 +57,9 @@ impl fmt::Display for ExecError {
             ExecError::Unsupported { backend, what } => {
                 write!(f, "backend '{backend}' does not support {what}")
             }
+            ExecError::WorkerLost { job } => {
+                write!(f, "pool worker terminated before completing job {job}")
+            }
         }
     }
 }
@@ -61,7 +71,9 @@ impl Error for ExecError {
             ExecError::State(e) => Some(e),
             ExecError::Dd(e) => Some(e),
             ExecError::Circuit(e) => Some(e),
-            ExecError::BasisOutOfRange { .. } | ExecError::Unsupported { .. } => None,
+            ExecError::BasisOutOfRange { .. }
+            | ExecError::Unsupported { .. }
+            | ExecError::WorkerLost { .. } => None,
         }
     }
 }

@@ -1,12 +1,15 @@
 //! Ablation: per-round fidelity sweep of the memory-driven strategy
 //! (extends the three Table-I points per instance into a full series).
+//! All points of the sweep run concurrently on a `BackendPool`.
 //!
 //! ```text
-//! fidelity_sweep [--rows R] [--cols C] [--depth D] [--seed S] [--threshold T]
+//! fidelity_sweep [--rows R] [--cols C] [--depth D] [--seed S]
+//!                [--threshold T] [--workers N]
 //! ```
 
-use approxdd_bench::sweeps::{format_sweep, round_fidelity_sweep};
+use approxdd_bench::sweeps::{format_sweep, round_fidelity_sweep_pooled};
 use approxdd_circuit::generators;
+use approxdd_sim::Simulator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,13 +19,19 @@ fn main() {
     let seed = num_arg(&args, "--seed", 0) as u64;
     let threshold = num_arg(&args, "--threshold", 1 << 11);
 
+    let pool = approxdd_bench::pool_from_args(&args, Simulator::builder()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+
     let circuit = generators::supremacy(rows, cols, depth, seed);
     println!(
-        "f_round sweep on {} (threshold {threshold} nodes)",
-        circuit.name()
+        "f_round sweep on {} (threshold {threshold} nodes, {} workers)",
+        circuit.name(),
+        pool.workers()
     );
     let f_rounds = [0.995, 0.99, 0.975, 0.95, 0.925, 0.90];
-    match round_fidelity_sweep(&circuit, threshold, &f_rounds) {
+    match round_fidelity_sweep_pooled(&pool, &circuit, threshold, &f_rounds) {
         Ok(points) => print!("{}", format_sweep(&points)),
         Err(e) => eprintln!("sweep failed: {e}"),
     }

@@ -1,13 +1,15 @@
 //! Ablation: the Section IV-C tradeoff between few aggressive and many
-//! gentle approximation rounds at a fixed total fidelity budget.
+//! gentle approximation rounds at a fixed total fidelity budget. All
+//! round-count configurations run concurrently on a `BackendPool`.
 //!
 //! ```text
-//! rounds_tradeoff [--workload supremacy|shor] [--ffinal F]
+//! rounds_tradeoff [--workload supremacy|shor] [--ffinal F] [--workers N]
 //! ```
 
-use approxdd_bench::sweeps::{format_tradeoff, rounds_tradeoff};
+use approxdd_bench::sweeps::{format_tradeoff, rounds_tradeoff_pooled};
 use approxdd_circuit::generators;
 use approxdd_shor::shor_circuit;
+use approxdd_sim::Simulator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,16 +25,22 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.5);
 
+    let pool = approxdd_bench::pool_from_args(&args, Simulator::builder()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+
     let circuit = match workload.as_str() {
         "shor" => shor_circuit(33, 5).expect("shor_33_5 builds"),
         _ => generators::supremacy(4, 4, 10, 0),
     };
     println!(
-        "rounds tradeoff on {} (total budget f_final = {f_final})",
-        circuit.name()
+        "rounds tradeoff on {} (total budget f_final = {f_final}, {} workers)",
+        circuit.name(),
+        pool.workers()
     );
     let counts = [1usize, 2, 4, 6, 8, 12];
-    match rounds_tradeoff(&circuit, f_final, &counts) {
+    match rounds_tradeoff_pooled(&pool, &circuit, f_final, &counts) {
         Ok(points) => print!("{}", format_tradeoff(&points)),
         Err(e) => eprintln!("tradeoff failed: {e}"),
     }

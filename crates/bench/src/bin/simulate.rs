@@ -12,12 +12,17 @@
 //!              | fidelity:<ffinal>,<fround>
 //!   --shots N          measurement samples to draw (default 16)
 //!   --seed S           RNG seed (default 1)
+//!   --workers N        shard sampling across a pool of N workers
+//!                      (deterministic: same counts for any N)
 //!   --dot              print the final state as Graphviz DOT
+//!                      (single-threaded mode only)
 //! ```
 
+use std::collections::HashMap;
 use std::process::ExitCode;
 
 use approxdd_circuit::{generators, qasm, Circuit};
+use approxdd_exec::{BuildPool, PoolJob};
 use approxdd_sim::{Simulator, Strategy};
 
 fn main() -> ExitCode {
@@ -42,6 +47,11 @@ fn run() -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| "bad --seed"))
         .transpose()?
         .unwrap_or(1);
+    let workers = approxdd_bench::workers_flag(&args)?;
+    let dot = args.iter().any(|a| a == "--dot");
+    if dot && workers.is_some() {
+        return Err("--dot needs the single-threaded mode (drop --workers)".into());
+    }
 
     println!(
         "circuit: {} ({} qubits, {} gates)",
@@ -49,6 +59,11 @@ fn run() -> Result<(), String> {
         circuit.n_qubits(),
         circuit.gate_count()
     );
+
+    if let Some(workers) = workers {
+        return run_pooled(&circuit, strategy, shots, seed, workers);
+    }
+
     let mut sim = Simulator::builder().strategy(strategy).seed(seed).build();
     let run = sim.run(&circuit).map_err(|e| e.to_string())?;
 
@@ -62,20 +77,73 @@ fn run() -> Result<(), String> {
     println!("f_final        : {:.6}", run.stats.fidelity);
 
     if shots > 0 {
-        let counts = sim.draw_counts(&run, shots);
-        let mut entries: Vec<(u64, usize)> = counts.into_iter().collect();
-        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        println!("\ntop samples ({shots} shots):");
-        let n = circuit.n_qubits();
-        for (outcome, count) in entries.iter().take(10) {
-            println!("  |{outcome:0n$b}> : {count}");
-        }
+        print_counts(&circuit, shots, sim.draw_counts(&run, shots));
     }
 
-    if args.iter().any(|a| a == "--dot") {
+    if dot {
         println!("\n{}", sim.package().to_dot(run.state()));
     }
     Ok(())
+}
+
+/// The pooled path: the run itself executes as one pool job and the
+/// shot budget is sharded across the workers in deterministic chunks
+/// (same counts for any worker count, by the pool's seed-stream
+/// contract).
+fn run_pooled(
+    circuit: &Circuit,
+    strategy: Strategy,
+    shots: usize,
+    seed: u64,
+    workers: usize,
+) -> Result<(), String> {
+    let pool = Simulator::builder()
+        .seed(seed)
+        .workers(workers)
+        .build_pool();
+    println!("pool           : {} workers", pool.workers());
+
+    // A shot budget that fits one sampling chunk rides along with the
+    // run job (one simulation total); larger budgets shard across the
+    // workers, which re-run the circuit once per worker to amortize.
+    let job_shots = if shots <= approxdd_exec::SHOT_CHUNK {
+        shots
+    } else {
+        0
+    };
+    let outcome = pool
+        .run_jobs(vec![PoolJob::new(circuit.clone())
+            .strategy(strategy)
+            .shots(job_shots)])
+        .pop()
+        .expect("one job in, one result out")
+        .map_err(|e| e.to_string())?;
+
+    println!("runtime        : {:?}", outcome.stats.runtime);
+    println!("max DD size    : {} nodes", outcome.stats.peak_size);
+    println!("final DD size  : {} nodes", outcome.final_size);
+    println!("approx rounds  : {}", outcome.stats.approx_rounds);
+    println!("f_final        : {:.6}", outcome.stats.fidelity);
+
+    if let Some(counts) = outcome.counts {
+        print_counts(circuit, shots, counts);
+    } else if shots > 0 {
+        let counts = pool
+            .sample_counts_with(circuit, Some(strategy), shots)
+            .map_err(|e| e.to_string())?;
+        print_counts(circuit, shots, counts);
+    }
+    Ok(())
+}
+
+fn print_counts(circuit: &Circuit, shots: usize, counts: HashMap<u64, usize>) {
+    let mut entries: Vec<(u64, usize)> = counts.into_iter().collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("\ntop samples ({shots} shots):");
+    let n = circuit.n_qubits();
+    for (outcome, count) in entries.iter().take(10) {
+        println!("  |{outcome:0n$b}> : {count}");
+    }
 }
 
 fn load_circuit(args: &[String]) -> Result<Circuit, String> {

@@ -13,14 +13,18 @@
 //! defaults plus the paper-scale `--large` set); [`format_rows`] renders
 //! the rows in the layout of Table I.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use approxdd_backend::{Backend, BackendStats, BuildBackend, ExecError};
 use approxdd_circuit::{generators, Circuit};
+use approxdd_exec::{BackendPool, PoolJob, PoolOutcome};
 use approxdd_shor::{factor, shor_circuit, FactorOptions};
-use approxdd_sim::{Simulator, Strategy};
+use approxdd_sim::{Simulator, SimulatorBuilder, Strategy};
 
+pub mod json;
 pub mod sweeps;
+
+use json::Json;
 
 /// Runs `circuit` on any [`Backend`] and returns its unified run
 /// statistics, releasing the outcome — the one generic primitive every
@@ -179,6 +183,167 @@ pub fn fidelity_driven_row(
     })
 }
 
+/// Max-DD-size and runtime of an exact reference run, both `None` when
+/// the reference was skipped.
+type ExactRef = (Option<usize>, Option<Duration>);
+
+/// Builds one [`TableRow`] from a pooled approximate outcome plus the
+/// (optional) exact reference numbers.
+fn row_from_outcome(outcome: &PoolOutcome, f_round: f64, exact: ExactRef) -> TableRow {
+    TableRow {
+        name: outcome.name.clone(),
+        qubits: outcome.n_qubits,
+        exact_max_dd: exact.0,
+        exact_runtime: exact.1,
+        approx_max_dd: outcome.stats.peak_size,
+        rounds: outcome.stats.approx_rounds,
+        f_round,
+        approx_runtime: outcome.stats.runtime,
+        f_final: outcome.stats.fidelity,
+        factored: None,
+    }
+}
+
+/// The memory-driven half of Table I as one pooled submission: exact
+/// reference runs (unless `skip_exact`) and every `circuit × f_round`
+/// combination execute concurrently across the pool's workers, then
+/// assemble into rows in the serial function's order (circuit-major,
+/// `f_round`-minor). Per-row failures stay confined to their slot.
+pub fn memory_driven_rows_pooled(
+    pool: &BackendPool,
+    circuits: &[Circuit],
+    node_threshold: usize,
+    f_rounds: &[f64],
+    threshold_growth: f64,
+    skip_exact: bool,
+) -> Vec<Result<TableRow, ExecError>> {
+    let mut jobs: Vec<PoolJob> = Vec::new();
+    if !skip_exact {
+        jobs.extend(
+            circuits
+                .iter()
+                .map(|c| PoolJob::new(c.clone()).strategy(Strategy::Exact)),
+        );
+    }
+    for circuit in circuits {
+        for &f_round in f_rounds {
+            jobs.push(
+                PoolJob::new(circuit.clone()).strategy(Strategy::MemoryDriven {
+                    node_threshold,
+                    round_fidelity: f_round,
+                    threshold_growth,
+                }),
+            );
+        }
+    }
+    let mut results = pool.run_jobs(jobs);
+    let approx = results.split_off(if skip_exact { 0 } else { circuits.len() });
+    let exact: Vec<Result<ExactRef, ExecError>> = if skip_exact {
+        vec![Ok((None, None)); circuits.len()]
+    } else {
+        results
+            .iter()
+            .map(|r| match r {
+                Ok(o) => Ok((Some(o.stats.peak_size), Some(o.stats.runtime))),
+                Err(e) => Err(e.clone()),
+            })
+            .collect()
+    };
+
+    let mut rows = Vec::with_capacity(circuits.len() * f_rounds.len());
+    for (ci, _) in circuits.iter().enumerate() {
+        for (fi, &f_round) in f_rounds.iter().enumerate() {
+            let row = match (&exact[ci], &approx[ci * f_rounds.len() + fi]) {
+                (_, Err(e)) | (Err(e), _) => Err(e.clone()),
+                (Ok(exact), Ok(outcome)) => Ok(row_from_outcome(outcome, f_round, *exact)),
+            };
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Parses the `--workers N` flag the same way for every benchmark
+/// binary: `Ok(None)` when absent (callers fall back to the builder's
+/// default, the machine's available parallelism), an error for a
+/// missing or malformed value.
+///
+/// # Errors
+///
+/// A human-readable message when the flag has no or a non-numeric
+/// value.
+pub fn workers_flag(args: &[String]) -> Result<Option<usize>, String> {
+    match args.iter().position(|a| a == "--workers") {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| "missing value after --workers".to_string())?
+            .parse()
+            .map(Some)
+            .map_err(|_| "bad --workers value".to_string()),
+    }
+}
+
+/// Builds the [`BackendPool`] a benchmark binary runs on: `template`
+/// with [`workers_flag`] applied (absent flag → the template's default,
+/// the machine's available parallelism). One wiring for every binary.
+///
+/// # Errors
+///
+/// See [`workers_flag`].
+pub fn pool_from_args(args: &[String], template: SimulatorBuilder) -> Result<BackendPool, String> {
+    let template = match workers_flag(args)? {
+        Some(n) => template.workers(n),
+        None => template,
+    };
+    Ok(BackendPool::new(template))
+}
+
+/// Wall-clock time for one pooled batch run over `circuits` with the
+/// given worker count — the speedup probe the bench-smoke CI job
+/// reports (and the ignored release-mode contract test asserts on).
+///
+/// # Errors
+///
+/// The first failing job's error.
+pub fn pool_batch_walltime(
+    template: SimulatorBuilder,
+    workers: usize,
+    circuits: &[Circuit],
+) -> Result<Duration, ExecError> {
+    let pool = BackendPool::with_workers(template, workers);
+    let start = Instant::now();
+    pool.run_batch(circuits)?;
+    Ok(start.elapsed())
+}
+
+impl TableRow {
+    /// The row as a JSON object (runtimes in seconds; missing exact
+    /// references serialize as `null`, like the paper's Timeout cells).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name.as_str())),
+            ("qubits", Json::int(self.qubits)),
+            ("exact_max_dd", Json::opt_int(self.exact_max_dd)),
+            (
+                "exact_seconds",
+                self.exact_runtime
+                    .map_or(Json::Null, |d| Json::Num(d.as_secs_f64())),
+            ),
+            ("approx_max_dd", Json::int(self.approx_max_dd)),
+            ("rounds", Json::int(self.rounds)),
+            ("f_round", Json::Num(self.f_round)),
+            (
+                "approx_seconds",
+                Json::Num(self.approx_runtime.as_secs_f64()),
+            ),
+            ("f_final", Json::Num(self.f_final)),
+            ("factored", self.factored.map_or(Json::Null, Json::Bool)),
+        ])
+    }
+}
+
 /// Benchmark instance definitions.
 pub mod workloads {
     use super::{generators, Circuit};
@@ -202,6 +367,19 @@ pub mod workloads {
             .map(|seed| generators::supremacy(4, 5, 15, seed))
             .collect()
     }
+
+    /// CI-sized smoke instances (`table1 --smoke`): 3×3 grids, depth
+    /// 10, two seeds — same structure as the laptop set at seconds of
+    /// total runtime, so the bench-smoke job stays under its budget.
+    #[must_use]
+    pub fn supremacy_smoke() -> Vec<Circuit> {
+        (0..2)
+            .map(|seed| generators::supremacy(3, 3, 10, seed))
+            .collect()
+    }
+
+    /// CI-sized Shor smoke instances `(n, a)`.
+    pub const SHOR_SMOKE: [(u64, u64); 2] = [(15, 7), (21, 2)];
 
     /// Default node threshold for the memory-driven strategy on the
     /// laptop-scale instances (the paper used thresholds sized to its
@@ -286,6 +464,40 @@ mod tests {
         assert_eq!(row.qubits, 12);
         assert_eq!(row.factored, Some(true));
         assert!(row.f_final >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn pooled_rows_match_serial_up_to_runtime() {
+        use approxdd_exec::BuildPool;
+        let circuits = [
+            generators::supremacy(2, 3, 10, 0),
+            generators::supremacy(2, 3, 10, 1),
+        ];
+        let f_rounds = [0.99, 0.95];
+        let pool = Simulator::builder().workers(3).build_pool();
+        let pooled = memory_driven_rows_pooled(&pool, &circuits, 8, &f_rounds, 1.0, false);
+        assert_eq!(pooled.len(), 4);
+        for (i, result) in pooled.iter().enumerate() {
+            let p = result.as_ref().expect("pooled row");
+            let c = &circuits[i / f_rounds.len()];
+            let s = memory_driven_row(c, 8, f_rounds[i % f_rounds.len()], 1.0, false).unwrap();
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.qubits, s.qubits);
+            assert_eq!(p.exact_max_dd, s.exact_max_dd);
+            assert_eq!(p.approx_max_dd, s.approx_max_dd);
+            assert_eq!(p.rounds, s.rounds);
+            assert_eq!(p.f_final.to_bits(), s.f_final.to_bits());
+        }
+    }
+
+    #[test]
+    fn table_rows_serialize_to_json() {
+        let c = generators::supremacy(2, 2, 6, 0);
+        let row = memory_driven_row(&c, 4, 0.9, 1.0, true).unwrap();
+        let text = row.to_json().to_string();
+        assert!(text.contains("\"name\":\"qsup_2x2_6_0\""));
+        assert!(text.contains("\"exact_max_dd\":null"));
+        assert!(text.contains("\"f_round\":0.9"));
     }
 
     #[test]

@@ -6,7 +6,8 @@ use std::time::Duration;
 
 use approxdd_backend::{BuildBackend, ExecError};
 use approxdd_circuit::Circuit;
-use approxdd_sim::Simulator;
+use approxdd_exec::{BackendPool, PoolJob};
+use approxdd_sim::{Simulator, Strategy};
 
 use crate::run_stats;
 
@@ -52,6 +53,42 @@ pub fn round_fidelity_sweep(
         });
     }
     Ok(out)
+}
+
+/// [`round_fidelity_sweep`] with every point running concurrently on a
+/// [`BackendPool`] (per-job strategy overrides over the shared
+/// template). Point order, and all statistics except wall-clock
+/// runtimes, are identical to the serial sweep.
+///
+/// # Errors
+///
+/// The first failing point's error.
+pub fn round_fidelity_sweep_pooled(
+    pool: &BackendPool,
+    circuit: &Circuit,
+    node_threshold: usize,
+    f_rounds: &[f64],
+) -> Result<Vec<SweepPoint>, ExecError> {
+    let jobs = f_rounds
+        .iter()
+        .map(|&f_round| {
+            PoolJob::new(circuit.clone())
+                .strategy(Strategy::memory_driven_table1(node_threshold, f_round))
+        })
+        .collect();
+    f_rounds
+        .iter()
+        .zip(pool.run_jobs(jobs))
+        .map(|(&f_round, result)| {
+            result.map(|o| SweepPoint {
+                f_round,
+                max_dd_size: o.stats.peak_size,
+                rounds: o.stats.approx_rounds,
+                f_final: o.stats.fidelity,
+                runtime: o.stats.runtime,
+            })
+        })
+        .collect()
 }
 
 /// One point of the rounds-tradeoff ablation: the same total fidelity
@@ -104,6 +141,44 @@ pub fn rounds_tradeoff(
         });
     }
     Ok(out)
+}
+
+/// [`rounds_tradeoff`] with every `k` running concurrently on a
+/// [`BackendPool`]. Point order, and all statistics except wall-clock
+/// runtimes, are identical to the serial tradeoff.
+///
+/// # Errors
+///
+/// The first failing point's error.
+pub fn rounds_tradeoff_pooled(
+    pool: &BackendPool,
+    circuit: &Circuit,
+    final_fidelity: f64,
+    round_counts: &[usize],
+) -> Result<Vec<TradeoffPoint>, ExecError> {
+    let jobs = round_counts
+        .iter()
+        .map(|&k| {
+            assert!(k > 0, "round counts must be positive");
+            let f_round = final_fidelity.powf(1.0 / k as f64);
+            PoolJob::new(circuit.clone())
+                .strategy(Strategy::fidelity_driven(final_fidelity, f_round))
+        })
+        .collect();
+    round_counts
+        .iter()
+        .zip(pool.run_jobs(jobs))
+        .map(|(&k, result)| {
+            result.map(|o| TradeoffPoint {
+                rounds_requested: k,
+                f_round: final_fidelity.powf(1.0 / k as f64),
+                rounds_performed: o.stats.approx_rounds,
+                max_dd_size: o.stats.peak_size,
+                f_final: o.stats.fidelity,
+                runtime: o.stats.runtime,
+            })
+        })
+        .collect()
 }
 
 /// Renders sweep points as an aligned text table.
@@ -177,6 +252,32 @@ mod tests {
                 p.f_final
             );
             assert!(p.rounds_performed <= p.rounds_requested);
+        }
+    }
+
+    #[test]
+    fn pooled_sweeps_match_serial_up_to_runtime() {
+        use approxdd_exec::BuildPool;
+        let c = generators::supremacy(2, 3, 10, 0);
+        let pool = Simulator::builder().workers(4).build_pool();
+
+        let serial = round_fidelity_sweep(&c, 8, &[0.99, 0.95]).unwrap();
+        let pooled = round_fidelity_sweep_pooled(&pool, &c, 8, &[0.99, 0.95]).unwrap();
+        assert_eq!(serial.len(), pooled.len());
+        for (s, p) in serial.iter().zip(&pooled) {
+            assert_eq!(s.f_round, p.f_round);
+            assert_eq!(s.max_dd_size, p.max_dd_size);
+            assert_eq!(s.rounds, p.rounds);
+            assert_eq!(s.f_final.to_bits(), p.f_final.to_bits());
+        }
+
+        let serial = rounds_tradeoff(&c, 0.7, &[1, 2]).unwrap();
+        let pooled = rounds_tradeoff_pooled(&pool, &c, 0.7, &[1, 2]).unwrap();
+        for (s, p) in serial.iter().zip(&pooled) {
+            assert_eq!(s.rounds_requested, p.rounds_requested);
+            assert_eq!(s.rounds_performed, p.rounds_performed);
+            assert_eq!(s.max_dd_size, p.max_dd_size);
+            assert_eq!(s.f_final.to_bits(), p.f_final.to_bits());
         }
     }
 

@@ -6,7 +6,7 @@
 //! [`SimulatorBuilder::seed`].
 
 use crate::options::{ApproxPrimitive, SimOptions, Strategy};
-use crate::simulator::Simulator;
+use crate::simulator::{Simulator, DEFAULT_SAMPLE_SEED};
 
 /// Builder for [`Simulator`] — the canonical way to configure a run.
 ///
@@ -28,6 +28,7 @@ use crate::simulator::Simulator;
 pub struct SimulatorBuilder {
     options: SimOptions,
     seed: Option<u64>,
+    workers: Option<usize>,
 }
 
 impl SimulatorBuilder {
@@ -36,6 +37,7 @@ impl SimulatorBuilder {
         Self {
             options: SimOptions::default(),
             seed: None,
+            workers: None,
         }
     }
 
@@ -99,6 +101,40 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Requests `n` worker threads for pooled execution (the
+    /// `build_pool()` extension of `approxdd-exec`). Plain
+    /// [`SimulatorBuilder::build`] ignores this knob.
+    ///
+    /// `n == 0` is clamped to 1: a pool with zero workers could never
+    /// make progress, and silently accepting it would deadlock every
+    /// submission. When the knob is never set, pools fall back to
+    /// [`std::thread::available_parallelism`] (see
+    /// [`SimulatorBuilder::worker_count`]).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n.max(1));
+        self
+    }
+
+    /// The worker-thread count a pool built from this builder will use:
+    /// the clamped [`SimulatorBuilder::workers`] value, or
+    /// [`std::thread::available_parallelism`] (minimum 1) when the knob
+    /// was never set.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+    }
+
+    /// The sampling seed the built simulator will start from: the value
+    /// given to [`SimulatorBuilder::seed`], or [`DEFAULT_SAMPLE_SEED`].
+    /// Pooled execution uses this as the root of its per-job seed
+    /// stream.
+    #[must_use]
+    pub fn sample_seed(&self) -> u64 {
+        self.seed.unwrap_or(DEFAULT_SAMPLE_SEED)
+    }
+
     /// The options accumulated so far.
     #[must_use]
     pub fn options(&self) -> &SimOptions {
@@ -158,6 +194,24 @@ mod tests {
         for _ in 0..16 {
             assert_eq!(a.draw(&run_a), b.draw(&run_b));
         }
+    }
+
+    #[test]
+    fn workers_zero_is_clamped_to_one() {
+        assert_eq!(Simulator::builder().workers(0).worker_count(), 1);
+        assert_eq!(Simulator::builder().workers(1).worker_count(), 1);
+        assert_eq!(Simulator::builder().workers(8).worker_count(), 8);
+        // Unset: falls back to the machine's parallelism, never zero.
+        assert!(Simulator::builder().worker_count() >= 1);
+    }
+
+    #[test]
+    fn sample_seed_reports_explicit_or_default() {
+        assert_eq!(Simulator::builder().seed(42).sample_seed(), 42);
+        assert_eq!(
+            Simulator::builder().sample_seed(),
+            crate::DEFAULT_SAMPLE_SEED
+        );
     }
 
     #[test]

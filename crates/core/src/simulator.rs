@@ -486,6 +486,13 @@ impl Simulator {
         Ok(edge)
     }
 
+    /// Number of gate DDs currently held in the per-simulator cache
+    /// (pool worker statistics report this per backend instance).
+    #[must_use]
+    pub fn gate_cache_len(&self) -> usize {
+        self.gate_cache.len()
+    }
+
     /// Drops all cached gate DDs (releasing their GC roots).
     pub fn clear_gate_cache(&mut self) {
         let edges: Vec<MEdge> = self.gate_cache.drain().map(|(_, (e, _))| e).collect();

@@ -1,0 +1,154 @@
+//! Multi-threaded pooled execution over the unified `Backend` API.
+//!
+//! The paper trades controlled fidelity loss for large resource
+//! savings on a *single* simulation; this crate scales the surrounding
+//! system: a [`BackendPool`] owns N worker threads, each with its own
+//! DD backend built from a shared [`SimulatorBuilder`] template, and
+//! shards batched runs ([`BackendPool::run_batch`] /
+//! [`BackendPool::run_jobs`]) and large shot-sampling requests
+//! ([`BackendPool::sample_counts`]) across them through a channel-based
+//! work queue.
+//!
+//! **Determinism is thread-count-invariant:** per-job seeds come from a
+//! SplitMix64 [`SeedStream`] keyed on `(root seed, job index)`, and
+//! every job runs on freshly built simulator state, so a pool with one
+//! worker and a pool with eight produce identical outcomes and
+//! histograms for the same root seed (see the [`pool`](self) module
+//! docs for why job isolation is required, and the workspace contract
+//! suite for the assertion).
+//!
+//! [`SimulatorBuilder`]: approxdd_sim::SimulatorBuilder
+//!
+//! # Examples
+//!
+//! ```
+//! use approxdd_exec::BuildPool;
+//! use approxdd_circuit::generators;
+//! use approxdd_sim::Simulator;
+//!
+//! # fn main() -> Result<(), approxdd_backend::ExecError> {
+//! let pool = Simulator::builder().workers(2).seed(7).build_pool();
+//! let circuits: Vec<_> = (0..4).map(|s| generators::supremacy(2, 3, 8, s)).collect();
+//!
+//! // Batched runs: one outcome per circuit, input order preserved.
+//! let outcomes = pool.run_batch(&circuits)?;
+//! assert_eq!(outcomes.len(), 4);
+//!
+//! // Sharded sampling: 10k shots split across the workers.
+//! let counts = pool.sample_counts(&generators::ghz(8), 10_000)?;
+//! assert_eq!(counts.values().sum::<usize>(), 10_000);
+//! # Ok(())
+//! # }
+//! ```
+
+mod pool;
+mod seed;
+
+pub use pool::{BackendPool, BuildPool, PoolJob, PoolOutcome, PoolStats, WorkerStats, SHOT_CHUNK};
+pub use seed::{splitmix64, SeedStream, DOMAIN_RUN, DOMAIN_SAMPLE};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxdd_backend::ExecError;
+    use approxdd_circuit::generators;
+    use approxdd_sim::{Simulator, Strategy};
+
+    #[test]
+    fn build_pool_uses_builder_knobs() {
+        let pool = Simulator::builder().workers(3).seed(99).build_pool();
+        assert_eq!(pool.workers(), 3);
+        assert_eq!(pool.root_seed(), 99);
+        // workers(0) clamps to one worker, never a dead pool.
+        let pool = BackendPool::with_workers(Simulator::builder(), 0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn batch_outcomes_match_input_order() {
+        let pool = Simulator::builder().workers(4).build_pool();
+        let circuits = vec![
+            generators::ghz(4),
+            generators::w_state(5),
+            generators::qft(4),
+        ];
+        let outcomes = pool.run_batch(&circuits).expect("batch");
+        assert_eq!(outcomes.len(), 3);
+        for (outcome, circuit) in outcomes.iter().zip(&circuits) {
+            assert_eq!(outcome.name, circuit.name());
+            assert_eq!(outcome.n_qubits, circuit.n_qubits());
+            assert_eq!(outcome.stats.gates_applied, circuit.gate_count());
+            assert!((outcome.stats.fidelity - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_job_strategy_overrides_apply() {
+        let pool = Simulator::builder().workers(2).seed(3).build_pool();
+        let circuit = generators::supremacy(2, 3, 12, 1);
+        let jobs = vec![
+            PoolJob::new(circuit.clone()),
+            PoolJob::new(circuit).strategy(Strategy::fidelity_driven(0.6, 0.9)),
+        ];
+        let results = pool.run_jobs(jobs);
+        let exact = results[0].as_ref().expect("exact job");
+        let approx = results[1].as_ref().expect("approx job");
+        assert_eq!(exact.stats.approx_rounds, 0);
+        assert!(approx.stats.approx_rounds > 0);
+        assert!(approx.stats.fidelity < 1.0);
+        assert!(approx.final_size <= exact.final_size);
+    }
+
+    #[test]
+    fn sharded_sampling_merges_full_shot_budget() {
+        let pool = Simulator::builder().workers(3).seed(1).build_pool();
+        let shots = 2 * SHOT_CHUNK + 17; // forces multiple uneven chunks
+        let counts = pool
+            .sample_counts(&generators::ghz(6), shots)
+            .expect("counts");
+        assert_eq!(counts.values().sum::<usize>(), shots);
+        // GHZ: only the two branch outcomes occur.
+        assert_eq!(counts.len(), 2);
+        assert!(counts.contains_key(&0) && counts.contains_key(&0x3F));
+    }
+
+    #[test]
+    fn sampling_errors_propagate_not_hang() {
+        let pool = Simulator::builder()
+            .fidelity_driven(2.0, 0.9) // invalid template strategy
+            .workers(2)
+            .build_pool();
+        let err = pool
+            .sample_counts(&generators::ghz(4), 100)
+            .expect_err("invalid strategy must fail");
+        assert!(matches!(err, ExecError::Sim(_)), "{err:?}");
+    }
+
+    #[test]
+    fn pool_stats_track_work() {
+        let pool = Simulator::builder().workers(2).build_pool();
+        let circuits = vec![generators::ghz(4); 6];
+        pool.run_batch(&circuits).expect("batch");
+        pool.sample_counts(&generators::ghz(4), 100)
+            .expect("counts");
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.jobs_completed(), 6);
+        assert_eq!(stats.shots_drawn(), 100);
+        assert!(stats.tasks_submitted >= 7);
+        assert_eq!(stats.queue_depth, 0, "all work drained");
+        assert!(stats.max_queue_depth >= 1);
+        assert_eq!(stats.per_worker.len(), 2);
+        assert_eq!(stats.per_worker.iter().map(|w| w.jobs).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn empty_submissions_are_cheap_noops() {
+        let pool = Simulator::builder().workers(2).build_pool();
+        assert!(pool.run_batch(&[]).expect("empty batch").is_empty());
+        assert!(pool
+            .sample_counts(&generators::ghz(3), 0)
+            .expect("zero shots")
+            .is_empty());
+    }
+}

@@ -1,0 +1,669 @@
+//! The [`BackendPool`]: N worker threads executing backend jobs from a
+//! shared channel-based work queue.
+//!
+//! # Determinism
+//!
+//! The pool guarantees that the same root seed produces byte-identical
+//! results regardless of worker count. Two properties make that hold:
+//!
+//! * **Seed streams, not shared RNGs.** Every job derives its sampling
+//!   seed from the pool's [`SeedStream`] as a pure function of
+//!   `(root seed, domain, job index)` — never from which worker runs it
+//!   or in which order the queue drains.
+//! * **Per-job state isolation.** The DD package's unique table
+//!   canonicalizes near-equal edge weights first-write-wins (within
+//!   tolerance), so a run's low-order float bits can depend on what ran
+//!   earlier in the same package. Workers therefore rebuild their
+//!   backend from the shared [`SimulatorBuilder`] template for every
+//!   run job, making each outcome a pure function of the job itself.
+//!   (The serial benchmarks build a fresh backend per row for the same
+//!   reason, so nothing is lost relative to the status quo.)
+//!
+//! Sharded sampling ([`BackendPool::sample_counts`]) splits the shot
+//! budget into fixed-size chunks of [`SHOT_CHUNK`] shots. Chunk `i`
+//! always draws with seed `stream(DOMAIN_SAMPLE, i)` and histogram
+//! merging is commutative, so the merged counts are invariant under
+//! both worker count and completion order.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use approxdd_backend::{Backend, BackendStats, BuildBackend, DdBackend, ExecError, RunOutcome};
+use approxdd_circuit::Circuit;
+use approxdd_sim::{RunResult, SimulatorBuilder, Strategy};
+
+use crate::seed::{SeedStream, DOMAIN_RUN, DOMAIN_SAMPLE};
+
+/// Shots per sharded-sampling chunk. Fixed (never derived from the
+/// worker count) so the chunk decomposition — and with it every chunk
+/// seed — is identical no matter how many workers drain the queue.
+pub const SHOT_CHUNK: usize = 2048;
+
+/// One unit of pooled work: a circuit, an optional per-job strategy
+/// override (sweeps run many strategies over one pool), and an optional
+/// number of measurement shots to draw after the run.
+#[derive(Debug, Clone)]
+pub struct PoolJob {
+    circuit: Circuit,
+    strategy: Option<Strategy>,
+    shots: usize,
+}
+
+impl PoolJob {
+    /// A plain run of `circuit` under the pool template's strategy.
+    #[must_use]
+    pub fn new(circuit: Circuit) -> Self {
+        Self {
+            circuit,
+            strategy: None,
+            shots: 0,
+        }
+    }
+
+    /// Overrides the approximation strategy for this job only.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Draws `shots` measurement samples after the run (seeded from the
+    /// pool's per-job seed stream; reported in
+    /// [`PoolOutcome::counts`]).
+    #[must_use]
+    pub fn shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// The job's circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+}
+
+/// The detached result of one pooled job: unified run statistics plus
+/// (optionally) a measurement histogram. Unlike a single-threaded
+/// [`RunOutcome`], it holds no engine handle — the worker extracts
+/// everything and releases the run before replying, so outcomes are
+/// plain data that cross threads freely.
+#[derive(Debug, Clone)]
+pub struct PoolOutcome {
+    /// Name of the executed circuit.
+    pub name: String,
+    /// Register width.
+    pub n_qubits: usize,
+    /// Unified run statistics (identical to what a single-threaded
+    /// [`DdBackend`] run of the same job reports).
+    pub stats: BackendStats,
+    /// DD node count of the final state.
+    pub final_size: usize,
+    /// Measurement histogram when the job requested shots.
+    pub counts: Option<HashMap<u64, usize>>,
+    /// Index of the worker that executed the job (diagnostic only —
+    /// excluded from [`PoolOutcome::fingerprint`]).
+    pub worker: usize,
+}
+
+impl PoolOutcome {
+    /// A hash over every deterministic field — everything except the
+    /// wall-clock runtime and the executing worker. Two runs of the
+    /// same job under the same root seed produce equal fingerprints
+    /// regardless of pool size; the contract suite asserts exactly
+    /// that.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.n_qubits.hash(&mut h);
+        self.stats.gates_applied.hash(&mut h);
+        self.stats.peak_size.hash(&mut h);
+        self.stats.approx_rounds.hash(&mut h);
+        self.stats.fidelity.to_bits().hash(&mut h);
+        self.stats.nodes_removed.hash(&mut h);
+        self.stats.size_series.hash(&mut h);
+        self.final_size.hash(&mut h);
+        if let Some(counts) = &self.counts {
+            let mut entries: Vec<(u64, usize)> = counts.iter().map(|(k, v)| (*k, *v)).collect();
+            entries.sort_unstable();
+            entries.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// Per-worker execution statistics (one entry per thread in
+/// [`PoolStats::per_worker`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Run jobs executed.
+    pub jobs: usize,
+    /// Sampling chunks executed.
+    pub sample_chunks: usize,
+    /// Total measurement shots drawn.
+    pub shots_drawn: usize,
+    /// Run jobs (not sampling chunks) that returned an error.
+    pub failed_jobs: usize,
+    /// Time this worker spent executing tasks.
+    pub busy: Duration,
+    /// Alive DD nodes in this worker's package after its last task.
+    pub alive_nodes: usize,
+    /// Gate DDs cached in this worker's backend after its last task.
+    pub cached_gates: usize,
+}
+
+/// Aggregated pool statistics: wall time, queue pressure and the
+/// per-worker node/cache breakdown.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Wall-clock time since the pool was built.
+    pub uptime: Duration,
+    /// Tasks submitted over the pool's lifetime (run jobs + chunks).
+    pub tasks_submitted: usize,
+    /// Tasks waiting in the queue (not yet picked up by a worker;
+    /// tasks currently executing are not counted).
+    pub queue_depth: usize,
+    /// High-water mark of [`PoolStats::queue_depth`].
+    pub max_queue_depth: usize,
+    /// Per-worker breakdown.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Total busy time summed over workers (≥ uptime means the pool ran
+    /// with real parallelism).
+    #[must_use]
+    pub fn total_busy(&self) -> Duration {
+        self.per_worker.iter().map(|w| w.busy).sum()
+    }
+
+    /// Run jobs completed across all workers.
+    #[must_use]
+    pub fn jobs_completed(&self) -> usize {
+        self.per_worker.iter().map(|w| w.jobs).sum()
+    }
+
+    /// Measurement shots drawn across all workers.
+    #[must_use]
+    pub fn shots_drawn(&self) -> usize {
+        self.per_worker.iter().map(|w| w.shots_drawn).sum()
+    }
+}
+
+/// Reply channel of a run job: `(job index, outcome)`.
+type RunReply = mpsc::Sender<(usize, Result<PoolOutcome, ExecError>)>;
+/// Reply channel of a sampling chunk: `(chunk index, histogram)`.
+type ChunkReply = mpsc::Sender<(usize, Result<HashMap<u64, usize>, ExecError>)>;
+
+enum Task {
+    Run {
+        index: usize,
+        job: PoolJob,
+        seed: u64,
+        reply: RunReply,
+    },
+    Sample {
+        epoch: u64,
+        chunk: usize,
+        circuit: Arc<Circuit>,
+        strategy: Option<Strategy>,
+        shots: usize,
+        seed: u64,
+        reply: ChunkReply,
+    },
+}
+
+/// A fixed-size pool of worker threads, each owning a [`DdBackend`]
+/// built from a shared [`SimulatorBuilder`] template, executing batch
+/// and sampling jobs from one channel-based work queue.
+///
+/// Build one through the builder —
+/// `Simulator::builder().workers(4).build_pool()` (see [`BuildPool`])
+/// — and submit work with [`BackendPool::run_batch`],
+/// [`BackendPool::run_jobs`] or [`BackendPool::sample_counts`]. All
+/// submission methods take `&self` and may be called from multiple
+/// threads; results are invariant under worker count (see the module
+/// docs for the determinism contract).
+///
+/// Dropping the pool closes the queue and joins every worker.
+#[derive(Debug)]
+pub struct BackendPool {
+    sender: Option<mpsc::Sender<Task>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    worker_stats: Vec<Arc<Mutex<WorkerStats>>>,
+    queue_depth: Arc<AtomicUsize>,
+    max_queue_depth: AtomicUsize,
+    tasks_submitted: AtomicUsize,
+    epoch: AtomicU64,
+    seeds: SeedStream,
+    created: Instant,
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Task::Run { index, .. } => write!(f, "Task::Run({index})"),
+            Task::Sample { epoch, .. } => write!(f, "Task::Sample(epoch {epoch})"),
+        }
+    }
+}
+
+impl BackendPool {
+    /// Builds a pool from a simulator template, taking the worker count
+    /// from [`SimulatorBuilder::worker_count`] (the `workers(n)` knob,
+    /// clamped to ≥ 1; default: the machine's available parallelism).
+    #[must_use]
+    pub fn new(template: SimulatorBuilder) -> Self {
+        let workers = template.worker_count();
+        Self::with_workers(template, workers)
+    }
+
+    /// Builds a pool with an explicit worker count (clamped to ≥ 1),
+    /// ignoring the template's `workers` knob.
+    #[must_use]
+    pub fn with_workers(template: SimulatorBuilder, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let seeds = SeedStream::new(template.sample_seed());
+        let (sender, receiver) = mpsc::channel::<Task>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let queue_depth = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::with_capacity(workers);
+        let mut worker_stats = Vec::with_capacity(workers);
+        for id in 0..workers {
+            let cell = Arc::new(Mutex::new(WorkerStats {
+                worker: id,
+                ..WorkerStats::default()
+            }));
+            worker_stats.push(Arc::clone(&cell));
+            let template = template.clone();
+            let receiver = Arc::clone(&receiver);
+            let depth = Arc::clone(&queue_depth);
+            let handle = thread::Builder::new()
+                .name(format!("approxdd-pool-{id}"))
+                .spawn(move || worker_loop(id, &template, &receiver, &depth, &cell))
+                .expect("spawn pool worker");
+            handles.push(handle);
+        }
+        Self {
+            sender: Some(sender),
+            handles,
+            worker_stats,
+            queue_depth,
+            max_queue_depth: AtomicUsize::new(0),
+            tasks_submitted: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            seeds,
+            created: Instant::now(),
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The root seed of the pool's per-job seed stream.
+    #[must_use]
+    pub fn root_seed(&self) -> u64 {
+        self.seeds.root()
+    }
+
+    /// Runs every circuit under the pool template's strategy, in input
+    /// order, failing on the first per-job error (all jobs still
+    /// execute; use [`BackendPool::try_run_batch`] to keep partial
+    /// results).
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed failing job's error.
+    pub fn run_batch(&self, circuits: &[Circuit]) -> Result<Vec<PoolOutcome>, ExecError> {
+        self.try_run_batch(circuits).into_iter().collect()
+    }
+
+    /// Runs every circuit, returning one result per circuit in input
+    /// order. A failing job never disturbs the others: each failure is
+    /// confined to its own slot.
+    #[must_use]
+    pub fn try_run_batch(&self, circuits: &[Circuit]) -> Vec<Result<PoolOutcome, ExecError>> {
+        self.run_jobs(circuits.iter().cloned().map(PoolJob::new).collect())
+    }
+
+    /// Runs every circuit and draws `shots` measurement samples per
+    /// run, with per-job seeds from the pool's seed stream.
+    #[must_use]
+    pub fn run_batch_sampled(
+        &self,
+        circuits: &[Circuit],
+        shots: usize,
+    ) -> Vec<Result<PoolOutcome, ExecError>> {
+        self.run_jobs(
+            circuits
+                .iter()
+                .map(|c| PoolJob::new(c.clone()).shots(shots))
+                .collect(),
+        )
+    }
+
+    /// The general submission path: runs heterogeneous jobs (per-job
+    /// strategies and shot counts) across the workers, returning one
+    /// result per job in input order.
+    ///
+    /// Job `i` samples with seed `stream(DOMAIN_RUN, i)`; a job whose
+    /// worker disappears mid-flight reports
+    /// [`ExecError::WorkerLost`] in its slot instead of hanging the
+    /// collection.
+    #[must_use]
+    pub fn run_jobs(&self, jobs: Vec<PoolJob>) -> Vec<Result<PoolOutcome, ExecError>> {
+        let n = jobs.len();
+        let (reply, results_rx) = mpsc::channel();
+        for (index, job) in jobs.into_iter().enumerate() {
+            let seed = self.seeds.seed(DOMAIN_RUN, index as u64);
+            self.submit(Task::Run {
+                index,
+                job,
+                seed,
+                reply: reply.clone(),
+            });
+        }
+        drop(reply);
+        let mut results: Vec<Result<PoolOutcome, ExecError>> = (0..n)
+            .map(|job| Err(ExecError::WorkerLost { job }))
+            .collect();
+        while let Ok((index, result)) = results_rx.recv() {
+            results[index] = result;
+        }
+        results
+    }
+
+    /// Draws `shots` measurement outcomes of `circuit` as a histogram,
+    /// sharding the shot budget across the workers in chunks of
+    /// [`SHOT_CHUNK`].
+    ///
+    /// Each worker runs the circuit once (deterministically, on fresh
+    /// state) and then serves chunks from its cached final state, so
+    /// large shot counts amortize the simulation cost across the pool.
+    /// The merged histogram is a pure function of (root seed, circuit,
+    /// shots) — calling this twice, or with a different worker count,
+    /// yields identical counts.
+    ///
+    /// # Errors
+    ///
+    /// Preparation/execution errors, or [`ExecError::WorkerLost`] if
+    /// workers died before serving every chunk.
+    pub fn sample_counts(
+        &self,
+        circuit: &Circuit,
+        shots: usize,
+    ) -> Result<HashMap<u64, usize>, ExecError> {
+        self.sample_counts_with(circuit, None, shots)
+    }
+
+    /// [`BackendPool::sample_counts`] with a per-call strategy override
+    /// (e.g. sampling an approximate run's distribution).
+    ///
+    /// # Errors
+    ///
+    /// See [`BackendPool::sample_counts`].
+    pub fn sample_counts_with(
+        &self,
+        circuit: &Circuit,
+        strategy: Option<Strategy>,
+        shots: usize,
+    ) -> Result<HashMap<u64, usize>, ExecError> {
+        if shots == 0 {
+            return Ok(HashMap::new());
+        }
+        // The epoch invalidates the workers' cached run state; chunk
+        // *seeds* are keyed on the chunk index alone so repeated calls
+        // stay reproducible.
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
+        let circuit = Arc::new(circuit.clone());
+        let chunks = shots.div_ceil(SHOT_CHUNK);
+        let (reply, results_rx) = mpsc::channel();
+        for chunk in 0..chunks {
+            let size = SHOT_CHUNK.min(shots - chunk * SHOT_CHUNK);
+            let seed = self.seeds.seed(DOMAIN_SAMPLE, chunk as u64);
+            self.submit(Task::Sample {
+                epoch,
+                chunk,
+                circuit: Arc::clone(&circuit),
+                strategy,
+                shots: size,
+                seed,
+                reply: reply.clone(),
+            });
+        }
+        drop(reply);
+        let mut merged: HashMap<u64, usize> = HashMap::new();
+        let mut arrived = vec![false; chunks];
+        while let Ok((chunk, result)) = results_rx.recv() {
+            for (outcome, count) in result? {
+                *merged.entry(outcome).or_insert(0) += count;
+            }
+            arrived[chunk] = true;
+        }
+        if let Some(lost) = arrived.iter().position(|&done| !done) {
+            return Err(ExecError::WorkerLost { job: lost });
+        }
+        Ok(merged)
+    }
+
+    /// A statistics snapshot: wall time, queue pressure, per-worker
+    /// node/cache state.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers(),
+            uptime: self.created.elapsed(),
+            tasks_submitted: self.tasks_submitted.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            per_worker: self
+                .worker_stats
+                .iter()
+                .map(|cell| cell.lock().unwrap_or_else(PoisonError::into_inner).clone())
+                .collect(),
+        }
+    }
+
+    fn submit(&self, task: Task) {
+        self.tasks_submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        let sent = self.sender.as_ref().is_some_and(|tx| tx.send(task).is_ok());
+        if !sent {
+            // Every worker is gone; dropping the task drops its reply
+            // sender, which surfaces as WorkerLost at the collector.
+            self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for BackendPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Extension hook giving [`SimulatorBuilder`] a direct path into the
+/// pooled execution layer:
+/// `Simulator::builder().workers(4).build_pool()`.
+pub trait BuildPool {
+    /// Builds a [`BackendPool`] from this template (worker count and
+    /// root seed from the builder; see
+    /// [`SimulatorBuilder::worker_count`] and
+    /// [`SimulatorBuilder::sample_seed`]).
+    fn build_pool(self) -> BackendPool;
+}
+
+impl BuildPool for SimulatorBuilder {
+    fn build_pool(self) -> BackendPool {
+        BackendPool::new(self)
+    }
+}
+
+struct Worker {
+    id: usize,
+    template: SimulatorBuilder,
+    backend: DdBackend,
+    epoch: Option<(u64, RunOutcome<RunResult>)>,
+}
+
+impl Worker {
+    /// Replaces the backend with a fresh instance built from the
+    /// template (plus an optional strategy override). Job isolation is
+    /// the pool's determinism linchpin — see the module docs.
+    fn fresh_backend(&mut self, strategy: Option<Strategy>) {
+        self.epoch = None; // handle dies with the old package
+        let mut template = self.template.clone();
+        if let Some(strategy) = strategy {
+            template = template.strategy(strategy);
+        }
+        self.backend = template.build_backend();
+    }
+
+    fn run_job(&mut self, job: &PoolJob, seed: u64) -> Result<PoolOutcome, ExecError> {
+        self.fresh_backend(job.strategy);
+        let exe = self.backend.prepare(&job.circuit)?;
+        let outcome = self.backend.run(&exe)?;
+        let counts = if job.shots > 0 {
+            self.backend.reseed(seed);
+            Some(self.backend.sample_counts(&outcome, job.shots))
+        } else {
+            None
+        };
+        let final_size = self.backend.sim().package().vsize(outcome.handle().state());
+        let stats = outcome.stats.clone();
+        let n_qubits = outcome.n_qubits();
+        self.backend.release(outcome);
+        Ok(PoolOutcome {
+            name: job.circuit.name().to_string(),
+            n_qubits,
+            stats,
+            final_size,
+            counts,
+            worker: self.id,
+        })
+    }
+
+    fn sample_chunk(
+        &mut self,
+        epoch: u64,
+        circuit: &Circuit,
+        strategy: Option<Strategy>,
+        shots: usize,
+        seed: u64,
+    ) -> Result<HashMap<u64, usize>, ExecError> {
+        if self.epoch.as_ref().map(|(e, _)| *e) != Some(epoch) {
+            self.fresh_backend(strategy);
+            let exe = self.backend.prepare(circuit)?;
+            let outcome = self.backend.run(&exe)?;
+            self.epoch = Some((epoch, outcome));
+        }
+        let (_, outcome) = self.epoch.as_ref().expect("epoch state just ensured");
+        self.backend.reseed(seed);
+        Ok(self.backend.sample_counts(outcome, shots))
+    }
+
+    fn note_task(
+        &self,
+        cell: &Mutex<WorkerStats>,
+        busy: Duration,
+        shots: usize,
+        is_run: bool,
+        failed: bool,
+    ) {
+        let mut stats = cell.lock().unwrap_or_else(PoisonError::into_inner);
+        if is_run {
+            stats.jobs += 1;
+            stats.failed_jobs += usize::from(failed);
+        } else {
+            stats.sample_chunks += 1;
+        }
+        stats.shots_drawn += shots;
+        stats.busy += busy;
+        let sim = self.backend.sim();
+        stats.alive_nodes = sim.package().alive_vnodes() + sim.package().alive_mnodes();
+        stats.cached_gates = sim.gate_cache_len();
+    }
+}
+
+fn worker_loop(
+    id: usize,
+    template: &SimulatorBuilder,
+    queue: &Mutex<mpsc::Receiver<Task>>,
+    depth: &AtomicUsize,
+    stats: &Mutex<WorkerStats>,
+) {
+    let mut worker = Worker {
+        id,
+        template: template.clone(),
+        backend: template.clone().build_backend(),
+        epoch: None,
+    };
+    loop {
+        // Hold the queue lock only for the dequeue, never while
+        // executing: a long job must not serialize the other workers.
+        let task = {
+            let receiver = queue.lock().unwrap_or_else(PoisonError::into_inner);
+            receiver.recv()
+        };
+        let Ok(task) = task else {
+            break; // pool dropped its sender: orderly shutdown
+        };
+        depth.fetch_sub(1, Ordering::Relaxed);
+        let start = Instant::now();
+        match task {
+            Task::Run {
+                index,
+                job,
+                seed,
+                reply,
+            } => {
+                let shots = job.shots;
+                let result = worker.run_job(&job, seed);
+                worker.note_task(
+                    stats,
+                    start.elapsed(),
+                    if result.is_ok() { shots } else { 0 },
+                    true,
+                    result.is_err(),
+                );
+                let _ = reply.send((index, result));
+            }
+            Task::Sample {
+                epoch,
+                chunk,
+                circuit,
+                strategy,
+                shots,
+                seed,
+                reply,
+            } => {
+                let result = worker.sample_chunk(epoch, &circuit, strategy, shots, seed);
+                worker.note_task(
+                    stats,
+                    start.elapsed(),
+                    if result.is_ok() { shots } else { 0 },
+                    false,
+                    result.is_err(),
+                );
+                let _ = reply.send((chunk, result));
+            }
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //!   fidelity-driven strategies) and its [`sim::SimulatorBuilder`],
 //! * [`backend`] — the unified [`backend::Backend`] execution API over
 //!   both engines (prepare / run / batched runs / sampling / queries),
+//! * [`exec`] — the multi-threaded [`exec::BackendPool`]: batched runs
+//!   and sharded sampling across worker threads, deterministic under
+//!   any worker count,
 //! * [`shor`] — Shor's algorithm end-to-end.
 //!
 //! # Quickstart
@@ -62,6 +65,7 @@ pub use approxdd_backend as backend;
 pub use approxdd_circuit as circuit;
 pub use approxdd_complex as complex;
 pub use approxdd_dd as dd;
+pub use approxdd_exec as exec;
 pub use approxdd_shor as shor;
 pub use approxdd_sim as sim;
 pub use approxdd_statevector as statevector;

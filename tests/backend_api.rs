@@ -5,11 +5,17 @@
 //! amplitudes, probabilities, expectations, release — then the engines
 //! are compared against each other for amplitude and fidelity
 //! agreement.
+//!
+//! The second half is the `BackendPool` contract suite: batch results
+//! and sharded sampling must be byte-identical across worker counts,
+//! empty and oversized batches must behave, and a poisoned job must
+//! neither deadlock the queue nor disturb its neighbours' results.
 
 use approxdd::backend::{amplitudes_of, Backend, BuildBackend, ExecError, StatevectorBackend};
 use approxdd::circuit::{generators, Circuit};
 use approxdd::complex::Cplx;
-use approxdd::sim::Simulator;
+use approxdd::exec::{BuildPool, PoolJob};
+use approxdd::sim::{Simulator, Strategy};
 
 fn workloads() -> Vec<Circuit> {
     vec![
@@ -141,6 +147,176 @@ fn executables_are_portable_across_engines() {
     assert!((p_dd - 1.0 / 6.0).abs() < 1e-9);
     dd.release(dd_run);
     sv.release(sv_run);
+}
+
+// ---------------------------------------------------------------------
+// BackendPool contract suite
+// ---------------------------------------------------------------------
+
+/// A mixed batch that exercises exact runs, approximation and sampling.
+fn pool_jobs() -> Vec<PoolJob> {
+    let mut jobs: Vec<PoolJob> = (0..4)
+        .map(|seed| PoolJob::new(generators::supremacy(2, 3, 12, seed)).shots(500))
+        .collect();
+    jobs.push(
+        PoolJob::new(generators::supremacy(2, 3, 12, 9))
+            .strategy(Strategy::fidelity_driven(0.6, 0.9))
+            .shots(500),
+    );
+    jobs.push(PoolJob::new(generators::ghz(10)).shots(1000));
+    jobs
+}
+
+#[test]
+fn pool_results_are_identical_across_worker_counts() {
+    // The determinism acceptance criterion: same root seed, any worker
+    // count -> byte-identical outcomes (fingerprints cover every field
+    // except wall-clock runtime) and byte-identical histograms.
+    let fingerprints: Vec<Vec<u64>> = [1usize, 2, 8]
+        .iter()
+        .map(|&workers| {
+            let pool = Simulator::builder().seed(42).workers(workers).build_pool();
+            pool.run_jobs(pool_jobs())
+                .into_iter()
+                .map(|r| r.expect("pool job").fingerprint())
+                .collect()
+        })
+        .collect();
+    assert_eq!(fingerprints[0], fingerprints[1], "1 vs 2 workers");
+    assert_eq!(fingerprints[0], fingerprints[2], "1 vs 8 workers");
+
+    let circuit = generators::supremacy(2, 3, 10, 3);
+    let reference = Simulator::builder()
+        .seed(42)
+        .workers(1)
+        .build_pool()
+        .sample_counts(&circuit, 5000)
+        .expect("counts");
+    assert_eq!(reference.values().sum::<usize>(), 5000);
+    for workers in [2usize, 8] {
+        let counts = Simulator::builder()
+            .seed(42)
+            .workers(workers)
+            .build_pool()
+            .sample_counts(&circuit, 5000)
+            .expect("counts");
+        assert_eq!(reference, counts, "sample_counts with {workers} workers");
+    }
+}
+
+#[test]
+fn pool_matches_single_threaded_backend() {
+    // The pool is a faster way to run the same engine: its per-job
+    // statistics must equal a fresh single-threaded backend's.
+    let circuit = generators::supremacy(2, 3, 12, 2);
+    let pool = Simulator::builder().seed(7).workers(3).build_pool();
+    let pooled = pool
+        .run_jobs(vec![
+            PoolJob::new(circuit.clone()).strategy(Strategy::fidelity_driven(0.6, 0.9))
+        ])
+        .pop()
+        .unwrap()
+        .expect("pool job");
+
+    let mut serial = Simulator::builder()
+        .fidelity_driven(0.6, 0.9)
+        .seed(7)
+        .build_backend();
+    let run = approxdd::backend::run_circuit(&mut serial, &circuit).expect("serial");
+    assert_eq!(pooled.stats.gates_applied, run.stats.gates_applied);
+    assert_eq!(pooled.stats.peak_size, run.stats.peak_size);
+    assert_eq!(pooled.stats.approx_rounds, run.stats.approx_rounds);
+    assert_eq!(
+        pooled.stats.fidelity.to_bits(),
+        run.stats.fidelity.to_bits()
+    );
+    assert_eq!(pooled.stats.nodes_removed, run.stats.nodes_removed);
+    serial.release(run);
+}
+
+#[test]
+fn pool_runs_empty_batches_and_batches_larger_than_the_pool() {
+    let pool = Simulator::builder().workers(2).build_pool();
+    assert!(pool.run_batch(&[]).expect("empty").is_empty());
+
+    // 9 jobs over 2 workers: everything completes, in input order.
+    let circuits: Vec<Circuit> = (0..9).map(|n| generators::ghz(3 + n)).collect();
+    let outcomes = pool.run_batch(&circuits).expect("oversized batch");
+    assert_eq!(outcomes.len(), 9);
+    for (outcome, circuit) in outcomes.iter().zip(&circuits) {
+        assert_eq!(outcome.name, circuit.name());
+        assert_eq!(outcome.n_qubits, circuit.n_qubits());
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.jobs_completed(), 9);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn poisoned_job_neither_deadlocks_nor_loses_neighbours() {
+    let pool = Simulator::builder().seed(5).workers(2).build_pool();
+    let mut jobs: Vec<PoolJob> = (0..6)
+        .map(|seed| PoolJob::new(generators::supremacy(2, 2, 8, seed)))
+        .collect();
+    // Job 2 is poisoned: an invalid strategy fails preparation.
+    jobs[2] = PoolJob::new(generators::ghz(4)).strategy(Strategy::FidelityDriven {
+        final_fidelity: 2.0,
+        round_fidelity: 0.9,
+    });
+    let results = pool.run_jobs(jobs);
+    assert_eq!(results.len(), 6);
+    for (i, result) in results.iter().enumerate() {
+        if i == 2 {
+            assert!(
+                matches!(result, Err(ExecError::Sim(_))),
+                "job 2 must fail loudly: {result:?}"
+            );
+        } else {
+            assert!(result.is_ok(), "job {i} must survive the poisoned job");
+        }
+    }
+    // The queue is intact: the pool keeps serving work afterwards.
+    let counts = pool
+        .sample_counts(&generators::ghz(5), 300)
+        .expect("pool usable after poison");
+    assert_eq!(counts.values().sum::<usize>(), 300);
+    // run_batch's fail-fast view surfaces errors instead of hanging: a
+    // pool whose template strategy is invalid fails every job loudly.
+    let bad_pool = Simulator::builder()
+        .fidelity_driven(2.0, 0.9)
+        .workers(2)
+        .build_pool();
+    assert!(matches!(
+        bad_pool.run_batch(&[generators::ghz(3)]),
+        Err(ExecError::Sim(_))
+    ));
+}
+
+/// The speed acceptance criterion: a 4-worker pool finishes a
+/// 16-circuit batch in ≤ 0.6× the 1-worker wall time. Needs release
+/// optimization and ≥ 4 real cores, so it is ignored by default — CI's
+/// bench-smoke job reports the same ratio in its JSON artifact, and
+/// this assertion can be run explicitly with
+/// `cargo test --release -- --ignored pool_speedup`.
+#[test]
+#[ignore = "timing assertion: needs --release and a multi-core machine"]
+fn pool_speedup_on_smoke_workload() {
+    // Same workload and same measurement helper as table1's smoke
+    // probe, so this assertion and the CI-reported ratio cannot
+    // silently diverge.
+    let circuits: Vec<Circuit> = (0..16)
+        .map(|seed| generators::supremacy(4, 4, 8, seed))
+        .collect();
+    let template = || Simulator::builder().strategy(Strategy::memory_driven_table1(1 << 11, 0.97));
+    let serial = approxdd_bench::pool_batch_walltime(template(), 1, &circuits).expect("1 worker");
+    let parallel =
+        approxdd_bench::pool_batch_walltime(template(), 4, &circuits).expect("4 workers");
+    let ratio = parallel.as_secs_f64() / serial.as_secs_f64();
+    assert!(
+        ratio <= 0.6,
+        "4 workers took {ratio:.3}x the 1-worker wall time \
+         ({parallel:?} vs {serial:?}) — expected <= 0.6x"
+    );
 }
 
 #[test]
