@@ -125,6 +125,37 @@ pub struct BackendStats {
     /// Representation size after every gate, when recorded (DD engine
     /// with `record_size_series`; empty otherwise).
     pub size_series: Vec<usize>,
+    /// DD-package counters at the end of the run — per-table
+    /// compute-cache hit rates and occupancy, unique-table occupancy,
+    /// and peak node counts (`None` for engines without a DD package,
+    /// i.e. the dense baseline). Session-cumulative for the DD engine:
+    /// the package persists across runs of one backend.
+    pub dd: Option<approxdd_dd::PackageStats>,
+}
+
+impl BackendStats {
+    /// Aggregate compute-cache hit rate of the run's DD package
+    /// (`None` for non-DD engines).
+    #[must_use]
+    pub fn ct_hit_rate(&self) -> Option<f64> {
+        self.dd.as_ref().map(approxdd_dd::PackageStats::ct_hit_rate)
+    }
+
+    /// Unique-table occupancy of the run's DD package (`None` for
+    /// non-DD engines).
+    #[must_use]
+    pub fn unique_occupancy(&self) -> Option<f64> {
+        self.dd
+            .as_ref()
+            .map(approxdd_dd::PackageStats::unique_occupancy)
+    }
+
+    /// Peak simultaneously-alive DD nodes, both node kinds combined
+    /// (`None` for non-DD engines).
+    #[must_use]
+    pub fn peak_nodes(&self) -> Option<usize> {
+        self.dd.as_ref().map(approxdd_dd::PackageStats::peak_nodes)
+    }
 }
 
 impl From<SimStats> for BackendStats {
@@ -137,6 +168,7 @@ impl From<SimStats> for BackendStats {
             nodes_removed: s.nodes_removed,
             runtime: s.runtime,
             size_series: s.size_series,
+            dd: Some(s.package),
         }
     }
 }

@@ -77,6 +77,7 @@ impl Backend for StatevectorBackend {
             nodes_removed: 0,
             runtime: start.elapsed(),
             size_series: Vec::new(),
+            dd: None,
         };
         Ok(RunOutcome::new(stats, exe.n_qubits(), state))
     }

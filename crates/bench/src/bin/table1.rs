@@ -171,6 +171,10 @@ fn main() -> ExitCode {
     let speedup = smoke.then(|| measure_pool_speedup(&mut failures));
 
     if let Some(path) = json_path {
+        // Pool-level cache aggregate: hit rate and node high-water mark
+        // across the workers' DD packages — the per-PR cache-behavior
+        // trajectory CI archives alongside the per-row columns.
+        let pool_stats = pool.stats();
         let mut report = vec![
             (
                 "mode".to_string(),
@@ -182,6 +186,13 @@ fn main() -> ExitCode {
                 Json::Num(start.elapsed().as_secs_f64()),
             ),
             ("failures".to_string(), Json::int(failures)),
+            (
+                "cache".to_string(),
+                Json::obj([
+                    ("ct_hit_rate", Json::Num(pool_stats.ct_hit_rate())),
+                    ("peak_nodes", Json::int(pool_stats.peak_nodes())),
+                ]),
+            ),
             (
                 "rows".to_string(),
                 Json::Arr(rows.iter().map(TableRow::to_json).collect()),

@@ -68,6 +68,24 @@ pub struct TableRow {
     /// For Shor rows: whether classical post-processing recovered the
     /// factors from the approximate state.
     pub factored: Option<bool>,
+    /// Approximate run: aggregate compute-cache hit rate of the DD
+    /// package (all four lossy tables combined).
+    pub ct_hit_rate: Option<f64>,
+    /// Approximate run: unique-table occupancy (live entries over
+    /// buckets) of the DD package.
+    pub unique_occupancy: Option<f64>,
+    /// Approximate run: peak simultaneously-alive DD nodes (vector +
+    /// matrix).
+    pub peak_nodes: Option<usize>,
+}
+
+/// Copies the DD-package cache columns out of a run's unified stats.
+fn cache_columns(stats: &BackendStats) -> (Option<f64>, Option<f64>, Option<usize>) {
+    (
+        stats.ct_hit_rate(),
+        stats.unique_occupancy(),
+        stats.peak_nodes(),
+    )
 }
 
 /// Runs one memory-driven benchmark row: an exact reference run (unless
@@ -102,6 +120,7 @@ pub fn memory_driven_row(
         })
         .build_backend();
     let stats = run_stats(&mut approx, circuit)?;
+    let (ct_hit_rate, unique_occupancy, peak_nodes) = cache_columns(&stats);
 
     Ok(TableRow {
         name: circuit.name().to_string(),
@@ -114,6 +133,9 @@ pub fn memory_driven_row(
         approx_runtime: stats.runtime,
         f_final: stats.fidelity,
         factored: None,
+        ct_hit_rate,
+        unique_occupancy,
+        peak_nodes,
     })
 }
 
@@ -169,6 +191,7 @@ pub fn fidelity_driven_row(
         }
     };
 
+    let (ct_hit_rate, unique_occupancy, peak_nodes) = cache_columns(&stats);
     Ok(TableRow {
         name: circuit.name().to_string(),
         qubits: circuit.n_qubits(),
@@ -180,6 +203,9 @@ pub fn fidelity_driven_row(
         approx_runtime: stats.runtime,
         f_final: stats.fidelity,
         factored: Some(factored),
+        ct_hit_rate,
+        unique_occupancy,
+        peak_nodes,
     })
 }
 
@@ -190,6 +216,7 @@ type ExactRef = (Option<usize>, Option<Duration>);
 /// Builds one [`TableRow`] from a pooled approximate outcome plus the
 /// (optional) exact reference numbers.
 fn row_from_outcome(outcome: &PoolOutcome, f_round: f64, exact: ExactRef) -> TableRow {
+    let (ct_hit_rate, unique_occupancy, peak_nodes) = cache_columns(&outcome.stats);
     TableRow {
         name: outcome.name.clone(),
         qubits: outcome.n_qubits,
@@ -201,6 +228,9 @@ fn row_from_outcome(outcome: &PoolOutcome, f_round: f64, exact: ExactRef) -> Tab
         approx_runtime: outcome.stats.runtime,
         f_final: outcome.stats.fidelity,
         factored: None,
+        ct_hit_rate,
+        unique_occupancy,
+        peak_nodes,
     }
 }
 
@@ -340,6 +370,15 @@ impl TableRow {
             ),
             ("f_final", Json::Num(self.f_final)),
             ("factored", self.factored.map_or(Json::Null, Json::Bool)),
+            (
+                "ct_hit_rate",
+                self.ct_hit_rate.map_or(Json::Null, Json::Num),
+            ),
+            (
+                "unique_occupancy",
+                self.unique_occupancy.map_or(Json::Null, Json::Num),
+            ),
+            ("peak_nodes", Json::opt_int(self.peak_nodes)),
         ])
     }
 }

@@ -85,6 +85,17 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Sets the `log2` slot count of each of the DD package's four
+    /// lossy compute caches (clamped to `[2, 26]`; unset → the engine
+    /// default of 2^16 slots per table). Cache size is a pure
+    /// time/memory trade — results are bit-identical for every size,
+    /// an undersized cache only recomputes more. See the
+    /// "Performance" section of the workspace README for tuning notes.
+    pub fn compute_cache_bits(mut self, bits: u32) -> Self {
+        self.options.compute_cache_bits = Some(bits);
+        self
+    }
+
     /// Records the DD size after every gate into
     /// [`crate::SimStats::size_series`].
     pub fn record_size_series(mut self, record: bool) -> Self {

@@ -70,6 +70,7 @@ impl Simulator {
             runtime: std::time::Duration::ZERO,
             final_threshold: None,
             size_series: Vec::new(),
+            package: approxdd_dd::PackageStats::default(),
         };
 
         let gates: Vec<&Operation> = circuit.ops().iter().filter(|o| o.is_gate()).collect();
@@ -93,6 +94,7 @@ impl Simulator {
             }
         }
 
+        stats.package = self.package().stats();
         stats.runtime = start.elapsed();
         Ok(RunResult::new(state, n, stats))
     }

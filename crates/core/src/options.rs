@@ -189,6 +189,14 @@ pub struct SimOptions {
     /// [`crate::SimStats::size_series`] (default: off; used by the
     /// benchmark harness to regenerate size-over-time series).
     pub record_size_series: bool,
+    /// `log2` slot count of each of the DD package's four lossy compute
+    /// caches (`None` → the engine default, 2^16 slots per table;
+    /// clamped to `[2, 26]`). A pure time/memory trade: the caches are
+    /// lossy, so results are **bit-identical for every size** — an
+    /// undersized cache only recomputes more. Tune down for
+    /// many-worker pools where per-worker footprint matters, up for
+    /// deep single-session circuits with heavy structural reuse.
+    pub compute_cache_bits: Option<u32>,
 }
 
 impl Default for SimOptions {
@@ -198,6 +206,7 @@ impl Default for SimOptions {
             primitive: ApproxPrimitive::default(),
             gc_node_threshold: 1 << 18,
             record_size_series: false,
+            compute_cache_bits: None,
         }
     }
 }

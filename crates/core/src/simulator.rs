@@ -50,6 +50,12 @@ pub struct SimStats {
     /// DD size after every gate (only when
     /// [`SimOptions::record_size_series`] is set).
     pub size_series: Vec<usize>,
+    /// DD-package counters at the end of the run: compute-cache
+    /// hit rates and occupancy per table, unique-table occupancy, and
+    /// peak node counts. Session-cumulative (the package persists
+    /// across runs of one simulator) — see
+    /// [`approxdd_dd::PackageStats`] for the accounting semantics.
+    pub package: approxdd_dd::PackageStats,
 }
 
 /// The outcome of a run: the final state plus statistics. The state
@@ -168,7 +174,10 @@ impl Simulator {
     #[must_use]
     pub fn seeded(options: SimOptions, seed: u64) -> Self {
         Self {
-            package: Package::new(),
+            package: Package::with_config(
+                approxdd_complex::Tolerance::default(),
+                options.compute_cache_bits,
+            ),
             options,
             gate_cache: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
@@ -249,6 +258,7 @@ impl Simulator {
             runtime: Duration::ZERO,
             final_threshold: None,
             size_series: Vec::new(),
+            package: approxdd_dd::PackageStats::default(),
         };
 
         let mut mem_threshold = match self.options.strategy {
@@ -305,6 +315,7 @@ impl Simulator {
         }
 
         stats.final_threshold = mem_threshold;
+        stats.package = self.package.stats();
         stats.runtime = start.elapsed();
         Ok(RunResult {
             state,

@@ -1,0 +1,157 @@
+//! Microbenchmarks of the DD hot path the lossy-cache redesign targets:
+//! `add`, `mul_mv` (gate application), `inner_product`, and
+//! `sample_counts`, each on GHZ, QFT, and random-Clifford workloads.
+//!
+//! Circuits are built from `Package` gate primitives directly (the
+//! `dd` crate sits below the circuit IR, so depending on the
+//! generators would be a dependency cycle). Run with
+//! `cargo bench -p approxdd-dd`; CI runs `cargo bench -p approxdd-dd
+//! -- --test` as a smoke pass so the harness cannot rot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use approxdd_complex::Cplx;
+use approxdd_dd::{GateKind, Package, VEdge};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// |GHZ_n⟩ = (|0…0⟩ + |1…1⟩)/√2 via H(0) then a CX ladder.
+fn ghz_state(p: &mut Package, n: usize) -> VEdge {
+    let mut state = p.zero_state(n);
+    let h = p.single_gate(n, 0, GateKind::H.matrix()).expect("H");
+    state = p.apply(h, state);
+    for k in 1..n {
+        let cx = p
+            .controlled_gate(n, &[k - 1], k, GateKind::X.matrix())
+            .expect("CX");
+        state = p.apply(cx, state);
+    }
+    state
+}
+
+/// QFT of a skewed basis state: H plus controlled-phase cascades.
+fn qft_state(p: &mut Package, n: usize) -> VEdge {
+    let mut state = p.basis_state(n, 0b1011 & ((1 << n) - 1));
+    for target in (0..n).rev() {
+        let h = p.single_gate(n, target, GateKind::H.matrix()).expect("H");
+        state = p.apply(h, state);
+        for (k, control) in (0..target).rev().enumerate() {
+            let angle = std::f64::consts::PI / f64::powi(2.0, (k + 1) as i32);
+            let cp = p
+                .controlled_gate(n, &[control], target, GateKind::Phase(angle).matrix())
+                .expect("CP");
+            state = p.apply(cp, state);
+        }
+    }
+    state
+}
+
+/// A reproducible random-Clifford state: H/S/CX picked by an LCG.
+fn clifford_state(p: &mut Package, n: usize, depth: usize, mut seed: u64) -> VEdge {
+    let mut state = p.zero_state(n);
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (seed >> 33) as usize
+    };
+    for _ in 0..depth {
+        for q in 0..n {
+            let gate = match next() % 3 {
+                0 => p.single_gate(n, q, GateKind::H.matrix()).expect("H"),
+                1 => p.single_gate(n, q, GateKind::S.matrix()).expect("S"),
+                _ => {
+                    let c = (q + 1 + next() % (n - 1)) % n;
+                    p.controlled_gate(n, &[c], q, GateKind::X.matrix())
+                        .expect("CX")
+                }
+            };
+            state = p.apply(gate, state);
+        }
+    }
+    state
+}
+
+/// The three workloads at a common width.
+fn workloads(n: usize) -> Vec<(&'static str, Package, VEdge)> {
+    let mut out = Vec::new();
+    let mut p = Package::new();
+    let s = ghz_state(&mut p, n);
+    out.push(("ghz", p, s));
+    let mut p = Package::new();
+    let s = qft_state(&mut p, n);
+    out.push(("qft", p, s));
+    let mut p = Package::new();
+    let s = clifford_state(&mut p, n, 6, 0xDD);
+    out.push(("clifford", p, s));
+    out
+}
+
+fn bench_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_add");
+    for (name, mut p, state) in workloads(12) {
+        // A second, structurally different operand at the same level.
+        let other = clifford_state(&mut p, 12, 4, 0xA5);
+        group.bench_function(format!("{name}_12q"), |b| {
+            b.iter(|| std::hint::black_box(p.add(state, other)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mul_mv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_mul_mv");
+    for (name, mut p, state) in workloads(12) {
+        let h = p.single_gate(12, 5, GateKind::H.matrix()).expect("H");
+        let cz = p
+            .controlled_gate(12, &[3], 8, GateKind::Z.matrix())
+            .expect("CZ");
+        group.bench_function(format!("{name}_h_12q"), |b| {
+            b.iter(|| std::hint::black_box(p.apply(h, state)));
+        });
+        group.bench_function(format!("{name}_cz_12q"), |b| {
+            b.iter(|| std::hint::black_box(p.apply(cz, state)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_inner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_inner");
+    for (name, mut p, state) in workloads(12) {
+        let other = clifford_state(&mut p, 12, 4, 0xA5);
+        group.bench_function(format!("{name}_12q"), |b| {
+            b.iter(|| std::hint::black_box(p.inner_product(state, other)));
+        });
+        group.bench_function(format!("{name}_norm_12q"), |b| {
+            b.iter(|| std::hint::black_box(p.inner_product(state, state)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_sample_counts");
+    for (name, p, state) in workloads(12) {
+        // Sampling needs a unit-norm root; normalize defensively (the
+        // workload builders already produce unit-norm states).
+        let root = VEdge {
+            w: state.w * Cplx::real(1.0 / state.w.mag().max(f64::MIN_POSITIVE)),
+            node: state.node,
+        };
+        group.bench_function(format!("{name}_1024shots_12q"), |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| std::hint::black_box(p.sample_counts(root, 1024, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_add,
+    bench_mul_mv,
+    bench_inner,
+    bench_sample_counts
+);
+criterion_main!(benches);

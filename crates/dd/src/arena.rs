@@ -1,23 +1,71 @@
-//! Slotted arena with free list, reference counts and GC marks.
+//! Struct-of-arrays slotted arena with free list, reference counts and
+//! GC marks.
 //!
 //! Nodes are identified by `u32` slot indices ([`crate::NodeId`]). The
 //! reference count only tracks *external* roots (state vectors, cached
 //! gates held by a simulator); internal parent→child references are
 //! reconstructed by the mark phase of [`crate::Package::collect_garbage`].
+//!
+//! The arena stores node payloads and GC bookkeeping **separately**
+//! (struct-of-arrays): payloads in one dense `Vec<T>`, reference counts
+//! in a parallel `Vec<u32>`, and the `alive`/`mark` flags packed into
+//! one bit each of two word arrays. The hot path (operation recursion
+//! reading node payloads) therefore never drags `rc`/`alive`/`mark`
+//! bytes through the cache, and the GC phases become word-wide:
+//! clearing marks is a `memset`, and the sweep skips 64 slots at a time
+//! wherever `alive & !mark` is zero.
 
-#[derive(Debug, Clone)]
-struct Slot<T> {
-    item: T,
-    rc: u32,
-    alive: bool,
-    mark: bool,
+/// A packed bitset over slot indices, one bit per slot.
+#[derive(Debug, Clone, Default)]
+struct BitSet {
+    words: Vec<u64>,
 }
 
-#[derive(Debug, Clone)]
+impl BitSet {
+    #[inline]
+    fn ensure(&mut self, idx: usize) {
+        let word = idx / 64;
+        if self.words.len() <= word {
+            self.words.resize(word + 1, 0);
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, idx: usize) {
+        self.words[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> bool {
+        self.words
+            .get(idx / 64)
+            .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+    }
+
+    /// Zeroes every bit (word-wide memset).
+    fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[derive(Debug, Clone, Default)]
 pub(crate) struct Arena<T> {
-    slots: Vec<Slot<T>>,
+    /// Node payloads (SoA: nothing but payload bytes on the hot path).
+    items: Vec<T>,
+    /// External-root reference counts, parallel to `items`.
+    rc: Vec<u32>,
+    /// One bit per slot: is the slot currently allocated?
+    alive: BitSet,
+    /// One bit per slot: GC mark (valid between `clear_marks` and
+    /// `sweep`).
+    mark: BitSet,
     free: Vec<u32>,
-    alive: usize,
+    alive_count: usize,
     /// High-water mark of simultaneously alive nodes.
     peak: usize,
 }
@@ -25,62 +73,75 @@ pub(crate) struct Arena<T> {
 impl<T> Arena<T> {
     pub(crate) fn new() -> Self {
         Self {
-            slots: Vec::new(),
+            items: Vec::new(),
+            rc: Vec::new(),
+            alive: BitSet::default(),
+            mark: BitSet::default(),
             free: Vec::new(),
-            alive: 0,
+            alive_count: 0,
             peak: 0,
         }
     }
 
     /// Allocates a slot for `item`, reusing a freed slot when available.
     pub(crate) fn alloc(&mut self, item: T) -> u32 {
-        self.alive += 1;
-        self.peak = self.peak.max(self.alive);
+        self.alive_count += 1;
+        self.peak = self.peak.max(self.alive_count);
         if let Some(idx) = self.free.pop() {
-            let slot = &mut self.slots[idx as usize];
-            slot.item = item;
-            slot.rc = 0;
-            slot.alive = true;
-            slot.mark = false;
+            let i = idx as usize;
+            self.items[i] = item;
+            self.rc[i] = 0;
+            self.alive.set(i);
+            self.mark.clear(i);
             idx
         } else {
-            let idx = u32::try_from(self.slots.len()).expect("arena exceeded u32 capacity");
-            self.slots.push(Slot {
-                item,
-                rc: 0,
-                alive: true,
-                mark: false,
-            });
+            // u32::MAX is the terminal sentinel and u32::MAX - 1 a
+            // unique-table sentinel; stay strictly below both.
+            let idx = u32::try_from(self.items.len())
+                .ok()
+                .filter(|&i| i < u32::MAX - 1)
+                .expect("arena exceeded u32 slot capacity");
+            self.items.push(item);
+            self.rc.push(0);
+            let i = idx as usize;
+            self.alive.ensure(i);
+            self.mark.ensure(i);
+            self.alive.set(i);
             idx
         }
     }
 
+    #[inline]
     pub(crate) fn get(&self, idx: u32) -> &T {
-        let slot = &self.slots[idx as usize];
-        debug_assert!(slot.alive, "access to freed arena slot {idx}");
-        &slot.item
+        debug_assert!(
+            self.alive.get(idx as usize),
+            "access to freed arena slot {idx}"
+        );
+        &self.items[idx as usize]
     }
 
     pub(crate) fn inc_rc(&mut self, idx: u32) {
-        let slot = &mut self.slots[idx as usize];
-        debug_assert!(slot.alive);
-        slot.rc += 1;
+        debug_assert!(self.alive.get(idx as usize));
+        self.rc[idx as usize] += 1;
     }
 
     pub(crate) fn dec_rc(&mut self, idx: u32) {
-        let slot = &mut self.slots[idx as usize];
-        debug_assert!(slot.alive);
-        debug_assert!(slot.rc > 0, "rc underflow on arena slot {idx}");
-        slot.rc = slot.rc.saturating_sub(1);
+        debug_assert!(self.alive.get(idx as usize));
+        debug_assert!(
+            self.rc[idx as usize] > 0,
+            "rc underflow on arena slot {idx}"
+        );
+        let rc = &mut self.rc[idx as usize];
+        *rc = rc.saturating_sub(1);
     }
 
     #[allow(dead_code)] // diagnostics / debug assertions
     pub(crate) fn rc(&self, idx: u32) -> u32 {
-        self.slots[idx as usize].rc
+        self.rc[idx as usize]
     }
 
     pub(crate) fn alive_count(&self) -> usize {
-        self.alive
+        self.alive_count
     }
 
     pub(crate) fn peak_count(&self) -> usize {
@@ -90,55 +151,62 @@ impl<T> Arena<T> {
     /// Total slots (alive + freed), i.e. the arena's memory footprint.
     #[allow(dead_code)] // diagnostics
     pub(crate) fn capacity(&self) -> usize {
-        self.slots.len()
+        self.items.len()
     }
 
-    /// Clears all marks. Pair with [`Arena::mark`] and [`Arena::sweep`].
+    /// Clears all marks (one memset over the mark words). Pair with
+    /// [`Arena::mark`] and [`Arena::sweep`].
     pub(crate) fn clear_marks(&mut self) {
-        for slot in &mut self.slots {
-            slot.mark = false;
-        }
+        self.mark.clear_all();
     }
 
+    /// Marks a slot; returns whether this was the first visit.
     pub(crate) fn mark(&mut self, idx: u32) -> bool {
-        let slot = &mut self.slots[idx as usize];
-        debug_assert!(slot.alive);
-        let was = slot.mark;
-        slot.mark = true;
+        debug_assert!(self.alive.get(idx as usize));
+        let was = self.mark.get(idx as usize);
+        self.mark.set(idx as usize);
         !was
     }
 
     pub(crate) fn is_marked(&self, idx: u32) -> bool {
-        self.slots[idx as usize].mark
+        self.mark.get(idx as usize)
     }
 
-    /// Iterates the indices of alive slots with a positive reference count
-    /// (the GC roots).
+    /// Iterates the indices of alive slots with a positive reference
+    /// count (the GC roots).
     pub(crate) fn rooted_indices(&self) -> impl Iterator<Item = u32> + '_ {
-        self.slots
+        self.rc
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.alive && s.rc > 0)
+            .filter(|&(i, &rc)| rc > 0 && self.alive.get(i))
             .map(|(i, _)| i as u32)
     }
 
     /// Frees every alive-but-unmarked slot, invoking `on_free` for each
     /// (so the caller can drop unique-table entries). Returns the number
     /// of freed slots.
+    ///
+    /// The scan is word-wide: 64 slots whose `alive & !mark` word is
+    /// zero are skipped with a single compare.
     pub(crate) fn sweep(&mut self, mut on_free: impl FnMut(u32, &T)) -> usize {
         let mut freed = 0;
-        for i in 0..self.slots.len() {
-            let slot = &self.slots[i];
-            if slot.alive && !slot.mark {
-                on_free(i as u32, &slot.item);
-                let slot = &mut self.slots[i];
-                slot.alive = false;
-                slot.rc = 0;
+        for w in 0..self.alive.words.len() {
+            let mut dead = self.alive.words[w] & !self.mark.words.get(w).copied().unwrap_or(0);
+            if dead == 0 {
+                continue;
+            }
+            while dead != 0 {
+                let bit = dead.trailing_zeros() as usize;
+                dead &= dead - 1;
+                let i = w * 64 + bit;
+                on_free(i as u32, &self.items[i]);
+                self.alive.words[w] &= !(1u64 << bit);
+                self.rc[i] = 0;
                 self.free.push(i as u32);
                 freed += 1;
             }
         }
-        self.alive -= freed;
+        self.alive_count -= freed;
         freed
     }
 }
@@ -209,5 +277,31 @@ mod tests {
         assert!(a.mark(x));
         assert!(!a.mark(x));
         assert!(a.is_marked(x));
+    }
+
+    #[test]
+    fn sweep_across_word_boundaries() {
+        // >64 slots so the word-wide sweep crosses word boundaries;
+        // keep every third slot rooted and verify exactly the rest go.
+        let mut a: Arena<u32> = Arena::new();
+        let ids: Vec<u32> = (0..200).map(|i| a.alloc(i)).collect();
+        for id in ids.iter().step_by(3) {
+            a.inc_rc(*id);
+        }
+        a.clear_marks();
+        let roots: Vec<u32> = a.rooted_indices().collect();
+        for r in &roots {
+            a.mark(*r);
+        }
+        let mut swept = Vec::new();
+        let freed = a.sweep(|idx, _| swept.push(idx));
+        assert_eq!(freed, 200 - roots.len());
+        assert_eq!(a.alive_count(), roots.len());
+        for id in ids.iter().step_by(3) {
+            assert_eq!(*a.get(*id), *id); // payload intact
+        }
+        for idx in swept {
+            assert!(idx % 3 != 0, "rooted slot {idx} was swept");
+        }
     }
 }

@@ -1,0 +1,291 @@
+//! Fixed-capacity, direct-mapped **lossy** compute caches.
+//!
+//! The compute tables memoize the results of the recursive DD
+//! operations (`add`, `mul_mv`, `mul_mm`, `inner_product`). Earlier
+//! revisions used growable hash maps with a wholesale clear past an
+//! entry cap; that design pays allocation, rehashing, and entry-API
+//! overhead on the hottest loop of the simulator, and the cap-triggered
+//! clears made hit-rate numbers incomparable across runs. This module
+//! replaces them with the design production DD packages (the MQT
+//! DDSIM lineage) use:
+//!
+//! * **Fixed capacity, direct-mapped.** A flat slot array of
+//!   `2^bits` entries indexed by `hash & mask`. No probing, no
+//!   buckets, no allocation after construction: a lookup is one hash,
+//!   one masked index, one key compare.
+//! * **Overwrite on collision (lossy).** Two live keys that map to the
+//!   same slot simply evict each other. Losing an entry is always
+//!   safe: the operation recomputes the result from the (immutable)
+//!   node structure, and recomputation is bit-deterministic — the
+//!   unique table canonicalizes nodes independently of the memoization
+//!   pattern, so a lossy cache can cost time, never correctness.
+//! * **Generation-stamped clearing.** Every slot carries the
+//!   generation at which it was written; [`ComputeCache::clear`] bumps
+//!   the cache's current generation, invalidating every slot in O(1)
+//!   instead of freeing buckets. Garbage collection — which must drop
+//!   all memoized results because they may reference freed nodes —
+//!   becomes a single integer increment per table.
+//!
+//! Hit/miss accounting lives *inside* [`ComputeCache::lookup`]: every
+//! lookup increments exactly one of the two counters, so hit rates are
+//! uniform across operation implementations and comparable across runs
+//! regardless of how often the tables were cleared.
+
+use std::hash::{Hash, Hasher};
+
+use crate::fasthash::FxHasher;
+
+/// Default `log2` capacity of each compute cache (65 536 slots).
+pub(crate) const DEFAULT_COMPUTE_CACHE_BITS: u32 = 16;
+/// Smallest accepted `log2` capacity (4 slots) — tiny caches are valid
+/// (just slow), and the equivalence test suite runs them on purpose.
+pub(crate) const MIN_COMPUTE_CACHE_BITS: u32 = 2;
+/// Largest accepted `log2` capacity (64 Mi slots) — beyond this the
+/// slot array itself stops fitting in reasonable memory.
+pub(crate) const MAX_COMPUTE_CACHE_BITS: u32 = 26;
+
+/// Clamps a requested cache size to the supported range.
+pub(crate) fn clamp_cache_bits(bits: u32) -> u32 {
+    bits.clamp(MIN_COMPUTE_CACHE_BITS, MAX_COMPUTE_CACHE_BITS)
+}
+
+/// Counters of one compute cache, exposed through
+/// [`crate::PackageStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtStats {
+    /// Lookups that returned a memoized result.
+    pub hits: u64,
+    /// Lookups that found nothing (followed by recomputation + insert).
+    pub misses: u64,
+    /// Slots currently holding a live (current-generation) entry.
+    pub occupancy: usize,
+    /// Total slots (fixed at construction).
+    pub capacity: usize,
+}
+
+impl CtStats {
+    /// Hit rate over the package's lifetime, `hits / (hits + misses)`;
+    /// 0 when no lookups happened.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+
+    /// Fraction of slots holding a live entry.
+    #[must_use]
+    pub fn occupancy_rate(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.occupancy as f64 / self.capacity as f64
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    /// Generation at which this slot was written; `0` means never.
+    stamp: u32,
+}
+
+/// A direct-mapped lossy cache from `K` to `V` (see the module docs).
+#[derive(Debug)]
+pub(crate) struct ComputeCache<K, V> {
+    slots: Vec<Slot<K, V>>,
+    mask: u64,
+    /// Current generation; slots stamped with anything else are dead.
+    /// Starts at 1 so the zero-initialized stamps read as empty.
+    generation: u32,
+    hits: u64,
+    misses: u64,
+    occupancy: usize,
+}
+
+impl<K: Copy + Eq + Hash, V: Copy> ComputeCache<K, V> {
+    /// Creates a cache with `2^bits` slots. `filler` values initialize
+    /// the slot array and are never observable (stamp 0 is dead).
+    pub(crate) fn new(bits: u32, filler_key: K, filler_value: V) -> Self {
+        let bits = clamp_cache_bits(bits);
+        let capacity = 1usize << bits;
+        Self {
+            slots: vec![
+                Slot {
+                    key: filler_key,
+                    value: filler_value,
+                    stamp: 0,
+                };
+                capacity
+            ],
+            mask: (capacity - 1) as u64,
+            generation: 1,
+            hits: 0,
+            misses: 0,
+            occupancy: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, key: &K) -> usize {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (h.finish() & self.mask) as usize
+        }
+    }
+
+    /// Looks up `key`, counting the outcome (the **only** place hits
+    /// and misses are counted — see the module docs).
+    #[inline]
+    pub(crate) fn lookup(&mut self, key: &K) -> Option<V> {
+        let idx = self.index(key);
+        let slot = &self.slots[idx];
+        if slot.stamp == self.generation && slot.key == *key {
+            self.hits += 1;
+            Some(slot.value)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts (or overwrites) the slot `key` maps to.
+    #[inline]
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        let idx = self.index(&key);
+        let generation = self.generation;
+        let slot = &mut self.slots[idx];
+        if slot.stamp != generation {
+            self.occupancy += 1;
+        }
+        *slot = Slot {
+            key,
+            value,
+            stamp: generation,
+        };
+    }
+
+    /// Invalidates every entry in O(1) by bumping the generation.
+    /// Hit/miss counters are *not* reset: they describe the package's
+    /// lifetime, so rates stay comparable across GC cycles.
+    pub(crate) fn clear(&mut self) {
+        self.occupancy = 0;
+        if self.generation == u32::MAX {
+            // Once every 4 billion clears: hard-reset the stamps so the
+            // generation can wrap without resurrecting ancient entries.
+            for slot in &mut self.slots {
+                slot.stamp = 0;
+            }
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+    }
+
+    /// Counter snapshot for [`crate::PackageStats`].
+    pub(crate) fn stats(&self) -> CtStats {
+        CtStats {
+            hits: self.hits,
+            misses: self.misses,
+            occupancy: self.occupancy,
+            capacity: self.slots.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(bits: u32) -> ComputeCache<(u32, u32), u64> {
+        ComputeCache::new(bits, (u32::MAX, u32::MAX), 0)
+    }
+
+    #[test]
+    fn lookup_after_insert_hits() {
+        let mut c = cache(4);
+        assert_eq!(c.lookup(&(1, 2)), None);
+        c.insert((1, 2), 42);
+        assert_eq!(c.lookup(&(1, 2)), Some(42));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.occupancy, s.capacity), (1, 1, 1, 16));
+    }
+
+    #[test]
+    fn collisions_overwrite_lossily() {
+        // A 1-slot-per-hash worst case: with 4 slots, distinct keys
+        // must eventually collide; the newer entry wins and the older
+        // one just misses (never a wrong value).
+        let mut c = cache(MIN_COMPUTE_CACHE_BITS);
+        for i in 0..64u32 {
+            c.insert((i, i), u64::from(i));
+        }
+        for i in 0..64u32 {
+            if let Some(v) = c.lookup(&(i, i)) {
+                assert_eq!(v, u64::from(i), "stale value for key {i}");
+            }
+        }
+        assert!(c.stats().occupancy <= 4);
+    }
+
+    #[test]
+    fn clear_is_generation_bump() {
+        let mut c = cache(4);
+        c.insert((7, 7), 7);
+        assert_eq!(c.lookup(&(7, 7)), Some(7));
+        c.clear();
+        assert_eq!(c.lookup(&(7, 7)), None, "cleared entry must be dead");
+        assert_eq!(c.stats().occupancy, 0);
+        // Counters survive the clear (lifetime accounting).
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        // The cache keeps working after the bump.
+        c.insert((7, 7), 9);
+        assert_eq!(c.lookup(&(7, 7)), Some(9));
+    }
+
+    #[test]
+    fn generation_wrap_resets_stamps() {
+        let mut c = cache(2);
+        c.insert((1, 1), 1);
+        c.generation = u32::MAX; // simulate 4 billion clears
+        c.clear();
+        assert_eq!(c.generation, 1);
+        // The stale stamp (written at generation 1 originally) was
+        // hard-reset, so the old entry cannot resurrect.
+        assert_eq!(c.lookup(&(1, 1)), None);
+    }
+
+    #[test]
+    fn bits_are_clamped() {
+        let c: ComputeCache<(u32, u32), u64> = ComputeCache::new(0, (0, 0), 0);
+        assert_eq!(c.stats().capacity, 1 << MIN_COMPUTE_CACHE_BITS);
+        let c: ComputeCache<(u32, u32), u64> = ComputeCache::new(60, (0, 0), 0);
+        assert_eq!(c.stats().capacity, 1 << MAX_COMPUTE_CACHE_BITS);
+    }
+
+    #[test]
+    fn hit_rate_and_occupancy_rate() {
+        let mut c = cache(4);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.insert((1, 1), 1);
+        let _ = c.lookup(&(1, 1));
+        let _ = c.lookup(&(2, 2));
+        let s = c.stats();
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.occupancy_rate() - 1.0 / 16.0).abs() < 1e-12);
+    }
+}

@@ -27,6 +27,44 @@
 //! * Edges descend strictly one level at a time; qubit `0` is the lowest
 //!   level (least significant bit of a basis index).
 //!
+//! ## The memory system (hot-path design)
+//!
+//! The package's storage follows the design of production DD packages
+//! (the MQT DDSIM lineage):
+//!
+//! * **Struct-of-arrays arenas.** Node payloads live in a dense `Vec`;
+//!   reference counts and the `alive`/`mark` GC flags live in parallel
+//!   arrays (the flags as packed bitsets). Operation recursion touches
+//!   only payload bytes; GC mark-clearing is a memset and the sweep
+//!   skips 64 dead-free slots per word.
+//! * **Per-level open-addressed unique tables.** Canonicalization
+//!   queries probe a flat `(hash, id)` bucket array per level with
+//!   linear probing and load-factor resize; full key comparisons read
+//!   the candidate node straight from the arena. The unique table is
+//!   **exact** — entries live as long as their nodes — because it is
+//!   what makes DDs canonical.
+//! * **Fixed-size, direct-mapped lossy compute caches.** The four
+//!   memoization tables (`add`, `mul_mv`, `mul_mm`, `inner`) are flat
+//!   slot arrays indexed by `hash & mask` that overwrite on collision
+//!   and invalidate via an O(1) generation bump. Lossiness is safe by
+//!   construction: every cache key identifies its result exactly. For
+//!   `mul_mv`/`mul_mm`/`inner` the node-id pair alone does (top
+//!   weights factor out); for `add` the key adds the weight ratio
+//!   *interned through a canonicalization map* (tolerance bucket → the
+//!   first exact ratio seen), and the recursion runs on that canonical
+//!   ratio — so near-equal ratios share one key *and* one result, and
+//!   a hit returns precisely what recomputation would. An undersized
+//!   cache costs time, never a different answer. Size the caches per
+//!   package with [`Package::with_cache_bits`] (2^16 slots per table
+//!   by default).
+//!
+//! Results are therefore **bit-identical across every cache
+//! configuration**; the workspace's `cache_equivalence` suite
+//! property-tests exactly that (4-bit vs. default vs. 20-bit caches),
+//! and [`PackageStats`] reports per-table hit rates and occupancy so
+//! regressions in cache behavior show up in benchmark JSON, not just
+//! wall time.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -63,6 +101,7 @@
 mod approx;
 mod arena;
 mod contribution;
+mod ctable;
 mod dot;
 mod edge;
 mod error;
@@ -74,9 +113,11 @@ mod ops;
 mod package;
 mod sample;
 mod serialize;
+mod unique;
 
 pub use approx::{RemovalStrategy, TruncationResult};
 pub use contribution::ContributionMap;
+pub use ctable::CtStats;
 pub use edge::{MEdge, NodeId, VEdge};
 pub use error::DdError;
 pub use gates::GateKind;

@@ -59,14 +59,32 @@ impl Package {
         } else {
             (b, a)
         };
-        let ratio = b.w / a.w;
-        let rk = self.tolerance().key(ratio);
-        let key = (a.node.0, b.node.0, rk.0, rk.1);
-        if let Some(&cached) = self.ct_add.get(&key) {
-            self.note_ct_hit();
+        // The ratio is interned through the package's canonicalization
+        // map (tolerance bucket → first exact ratio seen), and both the
+        // cache key and the recursion use the canonical value. That is
+        // what makes the lossy cache both *effective* and *sound*:
+        // near-equal ratios — low-order float noise from different
+        // computation paths, the overwhelmingly common repeat — share
+        // one key and one recursion input, so they hit; and because
+        // the canonical ratio is a stable pure function of the
+        // operation sequence (never influenced by compute-cache state),
+        // a hit returns bit-for-bit what recomputation would produce,
+        // keeping results independent of cache size and eviction
+        // history. (Keying the exact ratio bits instead was measured
+        // at a ~100× lower add hit rate — near-equal ratios almost
+        // never repeat exactly; keying a quantized ratio while
+        // recursing on the exact one — the pre-lossy design — made
+        // result bits depend on which ratio populated the entry
+        // first.) The result is independent of `a.w` — it is
+        // `A + ratio·B` over the two unit-normalized node functions —
+        // so the top weight stays out of the key (the standard QMDD
+        // multilinearity trick).
+        let (rk, ratio) = self.canonical_ratio(b.w / a.w);
+        #[allow(clippy::cast_sign_loss)]
+        let key = (a.node.0, b.node.0, rk.0 as u64, rk.1 as u64);
+        if let Some(cached) = self.ct_add.lookup(&key) {
             return cached.scaled(a.w);
         }
-        self.note_ct_miss();
 
         let an = *self.vnode(a.node);
         let bn = *self.vnode(b.node);
@@ -74,7 +92,6 @@ impl Package {
         let r1 = self.add(an.edges[1], bn.edges[1].scaled(ratio));
         let res = self.make_vnode(an.var, r0, r1);
         self.ct_add.insert(key, res);
-        self.trim_compute_tables();
         res.scaled(a.w)
     }
 
@@ -106,11 +123,9 @@ impl Package {
         debug_assert_eq!(self.mlevel(m), self.vlevel(v), "mul level mismatch");
 
         let key = (m.node.0, v.node.0);
-        if let Some(&cached) = self.ct_mul_mv.get(&key) {
-            self.note_ct_hit();
+        if let Some(cached) = self.ct_mul_mv.lookup(&key) {
             return cached.scaled(m.w * v.w);
         }
-        self.note_ct_miss();
 
         let mn = *self.mnode(m.node);
         let vn = *self.vnode(v.node);
@@ -123,7 +138,6 @@ impl Package {
         let r1 = self.add(p10, p11);
         let res = self.make_vnode(mn.var, r0, r1);
         self.ct_mul_mv.insert(key, res);
-        self.trim_compute_tables();
         res.scaled(m.w * v.w)
     }
 
@@ -148,11 +162,9 @@ impl Package {
         debug_assert_eq!(self.mlevel(a), self.mlevel(b), "mul_mm level mismatch");
 
         let key = (a.node.0, b.node.0);
-        if let Some(&cached) = self.ct_mul_mm.get(&key) {
-            self.note_ct_hit();
+        if let Some(cached) = self.ct_mul_mm.lookup(&key) {
             return cached.scaled(a.w * b.w);
         }
-        self.note_ct_miss();
 
         let an = *self.mnode(a.node);
         let bn = *self.mnode(b.node);
@@ -167,7 +179,6 @@ impl Package {
         }
         let res = self.make_mnode(an.var, quads);
         self.ct_mul_mm.insert(key, res);
-        self.trim_compute_tables();
         res.scaled(a.w * b.w)
     }
 
@@ -223,11 +234,9 @@ impl Package {
         debug_assert_eq!(self.vlevel(a), self.vlevel(b), "inner level mismatch");
 
         let key = (a.node.0, b.node.0);
-        if let Some(&cached) = self.ct_inner.get(&key) {
-            self.note_ct_hit();
+        if let Some(cached) = self.ct_inner.lookup(&key) {
             return a.w.conj() * b.w * cached;
         }
-        self.note_ct_miss();
 
         let an = *self.vnode(a.node);
         let bn = *self.vnode(b.node);
@@ -235,7 +244,6 @@ impl Package {
         let i1 = self.inner_product(an.edges[1], bn.edges[1]);
         let sum = i0 + i1;
         self.ct_inner.insert(key, sum);
-        self.trim_compute_tables();
         a.w.conj() * b.w * sum
     }
 

@@ -1,12 +1,16 @@
 //! The [`Package`]: owner of all nodes, tables and caches.
 
+use std::hash::Hasher;
+
 use approxdd_complex::{Cplx, Tolerance};
 
 use crate::arena::Arena;
+use crate::ctable::{clamp_cache_bits, ComputeCache, CtStats, DEFAULT_COMPUTE_CACHE_BITS};
 use crate::edge::{MEdge, NodeId, VEdge};
 use crate::error::DdError;
-use crate::fasthash::FxHashMap;
+use crate::fasthash::FxHasher;
 use crate::node::{MNode, VNode};
+use crate::unique::UniqueTable;
 use crate::Result;
 
 /// Maximum number of qubits the node representation supports.
@@ -14,28 +18,55 @@ pub(crate) const MAX_QUBITS: usize = 255;
 /// Maximum register width for operations that enumerate `2^n` basis
 /// indices (dense conversion).
 pub(crate) const MAX_DENSE_QUBITS: usize = 26;
-/// Compute-table entry cap; tables are cleared wholesale beyond this.
-const COMPUTE_TABLE_CAP: usize = 1 << 20;
 
-/// Unique-table key for a vector node: level, child ids and
-/// tolerance-quantized child weights.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct VKey {
-    var: u8,
-    nodes: [u32; 2],
-    weights: [(i64, i64); 2],
+/// Hash of a vector node's unique-table key (child ids plus
+/// tolerance-quantized child weights; the level is implicit in the
+/// per-level table).
+#[inline]
+fn vkey_hash(nodes: [u32; 2], weights: [(i64, i64); 2]) -> u64 {
+    let mut h = FxHasher::default();
+    for n in nodes {
+        h.write_u32(n);
+    }
+    for (re, im) in weights {
+        h.write_i64(re);
+        h.write_i64(im);
+    }
+    h.finish()
 }
 
-/// Unique-table key for a matrix node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct MKey {
-    var: u8,
-    nodes: [u32; 4],
-    weights: [(i64, i64); 4],
+/// Hash of a matrix node's unique-table key.
+#[inline]
+fn mkey_hash(nodes: [u32; 4], weights: [(i64, i64); 4]) -> u64 {
+    let mut h = FxHasher::default();
+    for n in nodes {
+        h.write_u32(n);
+    }
+    for (re, im) in weights {
+        h.write_i64(re);
+        h.write_i64(im);
+    }
+    h.finish()
 }
 
 /// Operational statistics of a [`Package`], for benchmarking and the
 /// memory-driven approximation strategy.
+///
+/// # Compute-table accounting semantics
+///
+/// Hit/miss counters are incremented **inside the cache lookup**: every
+/// lookup a DD operation performs counts as exactly one hit (a memoized
+/// result was returned) or one miss (the operation recomputed and
+/// re-inserted). Operand-order canonicalization and trivial cases that
+/// never consult a cache (zero edges, terminal×terminal, same-node
+/// shortcuts) count as neither. The counters are *lifetime* totals of
+/// the package — clearing a cache (an O(1) generation bump, performed
+/// by garbage collection) resets its occupancy but **not** its hit/miss
+/// counters, so hit rates are comparable across runs regardless of how
+/// often the caches were invalidated. Earlier revisions cleared the
+/// growable tables wholesale past an entry cap, which made hit-rate
+/// numbers depend on where the cap happened to fall; the fixed-capacity
+/// lossy caches have no such cap.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PackageStats {
     /// Vector nodes currently alive.
@@ -50,14 +81,62 @@ pub struct PackageStats {
     pub unique_hits: u64,
     /// Unique-table lookups that created a new node.
     pub unique_misses: u64,
+    /// Live unique-table entries across both node kinds and all levels.
+    pub unique_len: usize,
+    /// Unique-table buckets across both node kinds and all levels.
+    pub unique_capacity: usize,
     /// Compute-table hits (all operation caches combined).
     pub ct_hits: u64,
     /// Compute-table misses.
     pub ct_misses: u64,
+    /// Addition cache (`add`).
+    pub ct_add: CtStats,
+    /// Matrix–vector multiplication cache (`mul_mv` / `apply`).
+    pub ct_mul_mv: CtStats,
+    /// Matrix–matrix multiplication cache (`mul_mm`).
+    pub ct_mul_mm: CtStats,
+    /// Inner-product cache (`inner_product` / `fidelity`).
+    pub ct_inner: CtStats,
     /// Garbage-collection runs performed.
     pub gc_runs: u64,
     /// Total nodes reclaimed by garbage collection.
     pub gc_freed: u64,
+}
+
+impl PackageStats {
+    /// Aggregate compute-cache hit rate over the package's lifetime
+    /// (0 when no lookups happened).
+    #[must_use]
+    pub fn ct_hit_rate(&self) -> f64 {
+        let total = self.ct_hits + self.ct_misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.ct_hits as f64 / total as f64
+            }
+        }
+    }
+
+    /// Fraction of unique-table buckets holding a live entry.
+    #[must_use]
+    pub fn unique_occupancy(&self) -> f64 {
+        if self.unique_capacity == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.unique_len as f64 / self.unique_capacity as f64
+            }
+        }
+    }
+
+    /// Peak simultaneously-alive nodes of both kinds combined.
+    #[must_use]
+    pub fn peak_nodes(&self) -> usize {
+        self.vnodes_peak + self.mnodes_peak
+    }
 }
 
 /// The decision-diagram package: arena storage, unique tables for
@@ -81,12 +160,24 @@ pub struct Package {
     tol: Tolerance,
     pub(crate) vnodes: Arena<VNode>,
     pub(crate) mnodes: Arena<MNode>,
-    vunique: FxHashMap<VKey, u32>,
-    munique: FxHashMap<MKey, u32>,
-    pub(crate) ct_add: FxHashMap<(u32, u32, i64, i64), VEdge>,
-    pub(crate) ct_mul_mv: FxHashMap<(u32, u32), VEdge>,
-    pub(crate) ct_mul_mm: FxHashMap<(u32, u32), MEdge>,
-    pub(crate) ct_inner: FxHashMap<(u32, u32), Cplx>,
+    vunique: UniqueTable,
+    munique: UniqueTable,
+    /// Canonicalization map for `add` weight ratios: tolerance bucket →
+    /// the first exact ratio seen in that bucket. Near-equal ratios
+    /// (the overwhelmingly common case — low-order float noise from
+    /// different computation paths) collapse onto one canonical value,
+    /// which is what lets the lossy `ct_add` hit on them while staying
+    /// sound: the canonical ratio is a *stable* pure function of the
+    /// operation sequence, independent of compute-cache size, so
+    /// hit ≡ recompute bit-for-bit. The same idea as the QMDD "complex
+    /// table" (DDSIM interns all weights); applied here only where the
+    /// repo needs it, at the single cache whose key involves computed
+    /// weights. See `Package::add`.
+    pub(crate) ratio_canon: crate::fasthash::FxHashMap<(i64, i64), Cplx>,
+    pub(crate) ct_add: ComputeCache<(u32, u32, u64, u64), VEdge>,
+    pub(crate) ct_mul_mv: ComputeCache<(u32, u32), VEdge>,
+    pub(crate) ct_mul_mm: ComputeCache<(u32, u32), MEdge>,
+    pub(crate) ct_inner: ComputeCache<(u32, u32), Cplx>,
     /// `ident_cache[k]` is the identity matrix DD over levels `0..k`
     /// (height `k`); entry 0 is the terminal edge.
     pub(crate) ident_cache: Vec<MEdge>,
@@ -95,10 +186,11 @@ pub struct Package {
 
 impl Package {
     /// Creates a package with the default tolerance
-    /// ([`approxdd_complex::DEFAULT_TOLERANCE`]).
+    /// ([`approxdd_complex::DEFAULT_TOLERANCE`]) and default compute
+    /// cache size.
     #[must_use]
     pub fn new() -> Self {
-        Self::with_tolerance(Tolerance::default())
+        Self::with_config(Tolerance::default(), None)
     }
 
     /// Creates a package with an explicit tolerance. Looser tolerances
@@ -106,16 +198,43 @@ impl Package {
     /// tolerances are more faithful but may duplicate nodes.
     #[must_use]
     pub fn with_tolerance(tol: Tolerance) -> Self {
+        Self::with_config(tol, None)
+    }
+
+    /// Creates a package with `2^bits` slots in each lossy compute
+    /// cache (see [`Package::with_config`]).
+    #[must_use]
+    pub fn with_cache_bits(bits: u32) -> Self {
+        Self::with_config(Tolerance::default(), Some(bits))
+    }
+
+    /// Creates a package with an explicit tolerance and compute-cache
+    /// size. `cache_bits` is the `log2` slot count of each of the four
+    /// lossy compute caches (`None` → the engine default of
+    /// 2^16 slots per table), clamped to the supported `[2, 26]` range.
+    ///
+    /// Cache size is a pure time/memory trade: the caches are lossy and
+    /// results are **bit-identical for every size** — an undersized
+    /// cache only recomputes more (see the crate-level docs on the
+    /// lossy cache design).
+    #[must_use]
+    pub fn with_config(tol: Tolerance, cache_bits: Option<u32>) -> Self {
+        let bits = clamp_cache_bits(cache_bits.unwrap_or(DEFAULT_COMPUTE_CACHE_BITS));
+        // Filler entries are dead (generation-stamp 0) and never
+        // observable; any value works.
+        let no_key2 = (u32::MAX, u32::MAX);
+        let no_key4 = (u32::MAX, u32::MAX, 0, 0);
         Self {
             tol,
             vnodes: Arena::new(),
             mnodes: Arena::new(),
-            vunique: FxHashMap::default(),
-            munique: FxHashMap::default(),
-            ct_add: FxHashMap::default(),
-            ct_mul_mv: FxHashMap::default(),
-            ct_mul_mm: FxHashMap::default(),
-            ct_inner: FxHashMap::default(),
+            vunique: UniqueTable::new(),
+            munique: UniqueTable::new(),
+            ratio_canon: crate::fasthash::FxHashMap::default(),
+            ct_add: ComputeCache::new(bits, no_key4, VEdge::ZERO),
+            ct_mul_mv: ComputeCache::new(bits, no_key2, VEdge::ZERO),
+            ct_mul_mm: ComputeCache::new(bits, no_key2, MEdge::ZERO),
+            ct_inner: ComputeCache::new(bits, no_key2, Cplx::ZERO),
             ident_cache: vec![MEdge::ONE],
             stats: PackageStats::default(),
         }
@@ -135,6 +254,14 @@ impl Package {
         s.vnodes_peak = self.vnodes.peak_count();
         s.mnodes_alive = self.mnodes.alive_count();
         s.mnodes_peak = self.mnodes.peak_count();
+        s.unique_len = self.vunique.len() + self.munique.len();
+        s.unique_capacity = self.vunique.capacity() + self.munique.capacity();
+        s.ct_add = self.ct_add.stats();
+        s.ct_mul_mv = self.ct_mul_mv.stats();
+        s.ct_mul_mm = self.ct_mul_mm.stats();
+        s.ct_inner = self.ct_inner.stats();
+        s.ct_hits = s.ct_add.hits + s.ct_mul_mv.hits + s.ct_mul_mm.hits + s.ct_inner.hits;
+        s.ct_misses = s.ct_add.misses + s.ct_mul_mv.misses + s.ct_mul_mm.misses + s.ct_inner.misses;
         s
     }
 
@@ -213,13 +340,19 @@ impl Package {
             node: e1.node,
         };
 
-        let key = VKey {
-            var,
-            nodes: [e0.node.0, e1.node.0],
-            weights: [self.tol.key(e0.w), self.tol.key(e1.w)],
-        };
-        let id = match self.vunique.get(&key) {
-            Some(&id) => {
+        let weights = [self.tol.key(e0.w), self.tol.key(e1.w)];
+        let hash = vkey_hash([e0.node.0, e1.node.0], weights);
+        let tol = self.tol;
+        let arena = &self.vnodes;
+        let found = self.vunique.lookup(var, hash, |id| {
+            let n = arena.get(id);
+            n.edges[0].node == e0.node
+                && n.edges[1].node == e1.node
+                && tol.key(n.edges[0].w) == weights[0]
+                && tol.key(n.edges[1].w) == weights[1]
+        });
+        let id = match found {
+            Some(id) => {
                 self.stats.unique_hits += 1;
                 id
             }
@@ -229,7 +362,7 @@ impl Package {
                     var,
                     edges: [e0, e1],
                 });
-                self.vunique.insert(key, id);
+                self.vunique.insert(var, hash, id);
                 id
             }
         };
@@ -282,20 +415,23 @@ impl Package {
             }
         }
 
-        let key = MKey {
-            var,
-            nodes: edges.map(|e| e.node.0),
-            weights: edges.map(|e| self.tol.key(e.w)),
-        };
-        let id = match self.munique.get(&key) {
-            Some(&id) => {
+        let weights = edges.map(|e| self.tol.key(e.w));
+        let hash = mkey_hash(edges.map(|e| e.node.0), weights);
+        let tol = self.tol;
+        let arena = &self.mnodes;
+        let found = self.munique.lookup(var, hash, |id| {
+            let n = arena.get(id);
+            (0..4).all(|i| n.edges[i].node == edges[i].node && tol.key(n.edges[i].w) == weights[i])
+        });
+        let id = match found {
+            Some(id) => {
                 self.stats.unique_hits += 1;
                 id
             }
             None => {
                 self.stats.unique_misses += 1;
                 let id = self.mnodes.alloc(MNode { var, edges });
-                self.munique.insert(key, id);
+                self.munique.insert(var, hash, id);
                 id
             }
         };
@@ -530,32 +666,31 @@ impl Package {
     // compute-table plumbing
     // ------------------------------------------------------------------
 
-    pub(crate) fn note_ct_hit(&mut self) {
-        self.stats.ct_hits += 1;
+    /// Canonicalizes an `add` weight ratio: returns its tolerance
+    /// bucket plus the bucket's canonical representative (the first
+    /// exact ratio seen in it). The map's evolution is a pure function
+    /// of the operation sequence — compute caches never influence it —
+    /// which is what keeps `ct_add` hits bit-identical to
+    /// recomputation. Past the entry cap the map resets along with
+    /// **every** compute cache — not just `ct_add`: `mul_mv`/`mul_mm`/
+    /// `inner` results embed add results and therefore canonical-ratio
+    /// bits, so any surviving entry could disagree with a post-reset
+    /// recomputation. The reset timing is equally
+    /// cache-size-independent.
+    pub(crate) fn canonical_ratio(&mut self, ratio: Cplx) -> ((i64, i64), Cplx) {
+        /// Entry cap of the ratio-canonicalization map (~8 MiB).
+        const RATIO_CANON_CAP: usize = 1 << 18;
+        if self.ratio_canon.len() >= RATIO_CANON_CAP {
+            self.ratio_canon.clear();
+            self.clear_compute_tables();
+        }
+        let rk = self.tol.key(ratio);
+        let canonical = *self.ratio_canon.entry(rk).or_insert(ratio);
+        (rk, canonical)
     }
 
-    pub(crate) fn note_ct_miss(&mut self) {
-        self.stats.ct_misses += 1;
-    }
-
-    /// Clears compute tables when they exceed the size cap; called by the
-    /// operation implementations after inserts.
-    pub(crate) fn trim_compute_tables(&mut self) {
-        if self.ct_add.len() > COMPUTE_TABLE_CAP {
-            self.ct_add.clear();
-        }
-        if self.ct_mul_mv.len() > COMPUTE_TABLE_CAP {
-            self.ct_mul_mv.clear();
-        }
-        if self.ct_mul_mm.len() > COMPUTE_TABLE_CAP {
-            self.ct_mul_mm.clear();
-        }
-        if self.ct_inner.len() > COMPUTE_TABLE_CAP {
-            self.ct_inner.clear();
-        }
-    }
-
-    /// Drops all memoized operation results (mandatory after GC).
+    /// Drops all memoized operation results (mandatory after GC). An
+    /// O(1) generation bump per cache — nothing is freed or rehashed.
     pub(crate) fn clear_compute_tables(&mut self) {
         self.ct_add.clear();
         self.ct_mul_mv.clear();
@@ -564,23 +699,19 @@ impl Package {
     }
 
     pub(crate) fn remove_vnode_from_unique(&mut self, id: u32, node: &VNode) {
-        let key = VKey {
-            var: node.var,
-            nodes: [node.edges[0].node.0, node.edges[1].node.0],
-            weights: [self.tol.key(node.edges[0].w), self.tol.key(node.edges[1].w)],
-        };
-        self.vunique.remove(&key);
-        let _ = id;
+        // The stored node's weights are exactly the bits the key was
+        // quantized from at insert time, so the recomputed hash matches.
+        let weights = [self.tol.key(node.edges[0].w), self.tol.key(node.edges[1].w)];
+        let hash = vkey_hash([node.edges[0].node.0, node.edges[1].node.0], weights);
+        let removed = self.vunique.remove(node.var, hash, id);
+        debug_assert!(removed, "swept vnode {id} missing from unique table");
     }
 
     pub(crate) fn remove_mnode_from_unique(&mut self, id: u32, node: &MNode) {
-        let key = MKey {
-            var: node.var,
-            nodes: node.edges.map(|e| e.node.0),
-            weights: node.edges.map(|e| self.tol.key(e.w)),
-        };
-        self.munique.remove(&key);
-        let _ = id;
+        let weights = node.edges.map(|e| self.tol.key(e.w));
+        let hash = mkey_hash(node.edges.map(|e| e.node.0), weights);
+        let removed = self.munique.remove(node.var, hash, id);
+        debug_assert!(removed, "swept mnode {id} missing from unique table");
     }
 }
 
@@ -716,6 +847,25 @@ mod tests {
             e1.node, e2.node,
             "global phase must land on the edge weight"
         );
+    }
+
+    #[test]
+    fn ratio_canon_cap_reset_clears_every_compute_cache() {
+        // When the canonicalization map resets, *all* compute caches
+        // must drop: mul_mv/mul_mm/inner results embed add results and
+        // therefore canonical-ratio bits, so a surviving entry could
+        // disagree with a post-reset recomputation.
+        let mut p = Package::new();
+        p.ct_mul_mv.insert((1, 2), VEdge::ONE);
+        p.ct_inner.insert((3, 4), Cplx::I);
+        for i in 0..(1 << 18) {
+            p.ratio_canon.insert((i, 0), Cplx::ONE);
+        }
+        let (_, canonical) = p.canonical_ratio(Cplx::new(0.5, 0.0));
+        assert_eq!(canonical, Cplx::new(0.5, 0.0), "map was reset");
+        assert!(p.ratio_canon.len() <= 1);
+        assert_eq!(p.ct_mul_mv.lookup(&(1, 2)), None, "mul_mv must clear");
+        assert_eq!(p.ct_inner.lookup(&(3, 4)), None, "inner must clear");
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Per-level, open-addressed unique tables.
+//!
+//! The unique table is what makes decision diagrams canonical: every
+//! `make_vnode`/`make_mnode` call asks it "does a node with these
+//! (tolerance-quantized) children already exist?". Earlier revisions
+//! answered through a growable `HashMap<Key, u32>` whose keys inlined
+//! the full quantized child description (40+ bytes each) and whose
+//! entry API costs showed up directly in node-construction profiles.
+//!
+//! This module stores the canonical nodes the way production DD
+//! packages do:
+//!
+//! * **One table per level.** Nodes at different qubit levels can never
+//!   be equal, so each level gets its own bucket array and the level
+//!   byte drops out of every key and comparison.
+//! * **Open addressing, linear probing.** Buckets are a flat
+//!   power-of-two array of `(hash, node id)` pairs probed linearly.
+//!   The full key is **not** stored: the node payload already lives in
+//!   the arena, so equality is decided by comparing the candidate
+//!   node's children against the probe key (the caller supplies the
+//!   comparison as a closure over the arena). A 64-bit hash pre-filter
+//!   makes full comparisons rare.
+//! * **Load-factor-triggered resize.** Past ~70 % occupancy a level
+//!   doubles its bucket array and re-seats entries from their stored
+//!   hashes — no key re-derivation, no arena access.
+//! * **Tombstone deletion.** Garbage collection removes swept nodes by
+//!   id; tombstones keep probe chains intact and are recycled by
+//!   inserts and dropped wholesale on resize.
+//!
+//! Unlike the compute caches ([`crate::ctable`]), unique tables are
+//! **exact**: an entry is never lost while its node is alive, which is
+//! what keeps canonicalization — and therefore results — independent
+//! of cache configuration.
+
+/// Bucket holding no entry (never a valid node id: the arena refuses to
+/// grow that far).
+const EMPTY: u32 = u32::MAX;
+/// Bucket whose entry was deleted (probe chains continue through it).
+const TOMBSTONE: u32 = u32::MAX - 1;
+
+/// Initial bucket count per level (power of two).
+const INITIAL_BUCKETS: usize = 64;
+
+/// Numerator/denominator of the maximum load factor (entries +
+/// tombstones over buckets) before a level resizes: 7/10.
+const MAX_LOAD_NUM: usize = 7;
+const MAX_LOAD_DEN: usize = 10;
+
+#[derive(Debug, Clone, Default)]
+struct Level {
+    /// Stored 64-bit key hashes, parallel to `ids`.
+    hashes: Vec<u64>,
+    /// Node ids, or the [`EMPTY`]/[`TOMBSTONE`] sentinels.
+    ids: Vec<u32>,
+    /// Live entries.
+    len: usize,
+    /// Tombstoned buckets (reclaimed on resize).
+    tombstones: usize,
+}
+
+impl Level {
+    fn with_buckets(buckets: usize) -> Self {
+        debug_assert!(buckets.is_power_of_two());
+        Self {
+            hashes: vec![0; buckets],
+            ids: vec![EMPTY; buckets],
+            len: 0,
+            tombstones: 0,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.ids.len() - 1
+    }
+
+    /// Finds the id of the entry with this hash satisfying `eq`, if any.
+    #[inline]
+    fn lookup(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if self.ids.is_empty() {
+            return None;
+        }
+        let mask = self.mask();
+        #[allow(clippy::cast_possible_truncation)]
+        let mut idx = (hash as usize) & mask;
+        loop {
+            match self.ids[idx] {
+                EMPTY => return None,
+                TOMBSTONE => {}
+                id => {
+                    if self.hashes[idx] == hash && eq(id) {
+                        return Some(id);
+                    }
+                }
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Inserts an entry known to be absent (call after a failed
+    /// [`Level::lookup`] with the same hash).
+    fn insert(&mut self, hash: u64, id: u32) {
+        debug_assert!(id < TOMBSTONE, "node id collides with a sentinel");
+        if (self.len + self.tombstones + 1) * MAX_LOAD_DEN > self.ids.len() * MAX_LOAD_NUM {
+            self.resize();
+        }
+        let mask = self.mask();
+        #[allow(clippy::cast_possible_truncation)]
+        let mut idx = (hash as usize) & mask;
+        loop {
+            match self.ids[idx] {
+                EMPTY => break,
+                TOMBSTONE => {
+                    self.tombstones -= 1;
+                    break;
+                }
+                _ => idx = (idx + 1) & mask,
+            }
+        }
+        self.hashes[idx] = hash;
+        self.ids[idx] = id;
+        self.len += 1;
+    }
+
+    /// Tombstones the entry for `id` under `hash`. Returns whether it
+    /// was present.
+    fn remove(&mut self, hash: u64, id: u32) -> bool {
+        if self.ids.is_empty() {
+            return false;
+        }
+        let mask = self.mask();
+        #[allow(clippy::cast_possible_truncation)]
+        let mut idx = (hash as usize) & mask;
+        loop {
+            match self.ids[idx] {
+                EMPTY => return false,
+                cand => {
+                    if cand == id {
+                        self.ids[idx] = TOMBSTONE;
+                        self.len -= 1;
+                        self.tombstones += 1;
+                        return true;
+                    }
+                    idx = (idx + 1) & mask;
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the bucket array sized to the *live* entry count (4×
+    /// headroom), re-seating entries from their stored hashes and
+    /// dropping tombstones. Sizing from `len` instead of doubling
+    /// blindly keeps delete-heavy churn (GC sweeps) from growing the
+    /// table when tombstones, not entries, tripped the load factor.
+    fn resize(&mut self) {
+        let new_buckets = (self.len * 4).next_power_of_two().max(INITIAL_BUCKETS);
+        let old_hashes = std::mem::replace(&mut self.hashes, vec![0; new_buckets]);
+        let old_ids = std::mem::replace(&mut self.ids, vec![EMPTY; new_buckets]);
+        self.tombstones = 0;
+        let mask = new_buckets - 1;
+        for (hash, id) in old_hashes.into_iter().zip(old_ids) {
+            if id == EMPTY || id == TOMBSTONE {
+                continue;
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            let mut idx = (hash as usize) & mask;
+            while self.ids[idx] != EMPTY {
+                idx = (idx + 1) & mask;
+            }
+            self.hashes[idx] = hash;
+            self.ids[idx] = id;
+        }
+    }
+}
+
+/// A per-level open-addressed unique table (see the module docs).
+#[derive(Debug, Default)]
+pub(crate) struct UniqueTable {
+    levels: Vec<Level>,
+}
+
+impl UniqueTable {
+    pub(crate) fn new() -> Self {
+        Self { levels: Vec::new() }
+    }
+
+    /// Looks up the node with key-hash `hash` at `var`, deciding full
+    /// equality through `eq` (a closure comparing a candidate node's
+    /// arena payload against the probe key).
+    #[inline]
+    pub(crate) fn lookup(&self, var: u8, hash: u64, eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        self.levels
+            .get(usize::from(var))
+            .and_then(|level| level.lookup(hash, eq))
+    }
+
+    /// Registers a freshly allocated node (call after a failed
+    /// [`UniqueTable::lookup`] with the same `var`/`hash`).
+    pub(crate) fn insert(&mut self, var: u8, hash: u64, id: u32) {
+        let var = usize::from(var);
+        if self.levels.len() <= var {
+            self.levels
+                .resize_with(var + 1, || Level::with_buckets(INITIAL_BUCKETS));
+        }
+        self.levels[var].insert(hash, id);
+    }
+
+    /// Drops a swept node's entry. Returns whether it was present.
+    pub(crate) fn remove(&mut self, var: u8, hash: u64, id: u32) -> bool {
+        self.levels
+            .get_mut(usize::from(var))
+            .is_some_and(|level| level.remove(hash, id))
+    }
+
+    /// Live entries across all levels.
+    pub(crate) fn len(&self) -> usize {
+        self.levels.iter().map(|l| l.len).sum()
+    }
+
+    /// Total buckets across all levels.
+    pub(crate) fn capacity(&self) -> usize {
+        self.levels.iter().map(|l| l.ids.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_insert_remove_roundtrip() {
+        let mut t = UniqueTable::new();
+        assert_eq!(t.lookup(3, 0xABCD, |_| true), None);
+        t.insert(3, 0xABCD, 7);
+        assert_eq!(t.lookup(3, 0xABCD, |id| id == 7), Some(7));
+        // Same hash, different payload: the eq closure rejects it.
+        assert_eq!(t.lookup(3, 0xABCD, |_| false), None);
+        // Other levels are independent.
+        assert_eq!(t.lookup(2, 0xABCD, |_| true), None);
+        assert!(t.remove(3, 0xABCD, 7));
+        assert!(!t.remove(3, 0xABCD, 7));
+        assert_eq!(t.lookup(3, 0xABCD, |_| true), None);
+    }
+
+    #[test]
+    fn colliding_hashes_coexist() {
+        let mut t = UniqueTable::new();
+        // Identical hash, distinct nodes: linear probing must keep both.
+        t.insert(0, 42, 1);
+        t.insert(0, 42, 2);
+        assert_eq!(t.lookup(0, 42, |id| id == 1), Some(1));
+        assert_eq!(t.lookup(0, 42, |id| id == 2), Some(2));
+        assert_eq!(t.len(), 2);
+        // Removing one leaves the probe chain intact for the other.
+        assert!(t.remove(0, 42, 1));
+        assert_eq!(t.lookup(0, 42, |id| id == 2), Some(2));
+    }
+
+    #[test]
+    fn grows_past_load_factor() {
+        let mut t = UniqueTable::new();
+        let n = 10_000u32;
+        for i in 0..n {
+            // Spread-out hashes: multiply by a large odd constant.
+            t.insert(0, u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15), i);
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.capacity() >= n as usize);
+        for i in 0..n {
+            let h = u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(t.lookup(0, h, |id| id == i), Some(i), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn tombstones_are_recycled_by_inserts() {
+        let mut t = UniqueTable::new();
+        for round in 0..50u32 {
+            for i in 0..40u32 {
+                t.insert(1, u64::from(i % 8), round * 40 + i);
+            }
+            for i in 0..40u32 {
+                assert!(t.remove(1, u64::from(i % 8), round * 40 + i));
+            }
+        }
+        assert_eq!(t.len(), 0);
+        // Churn with only 8 distinct hashes must not balloon capacity:
+        // tombstone recycling + resize cleanup keep it bounded.
+        assert!(t.capacity() <= 1 << 12, "capacity {}", t.capacity());
+    }
+}

@@ -65,6 +65,27 @@ mod tests {
     }
 
     #[test]
+    fn pool_cache_aggregate_is_worker_count_invariant() {
+        // The pool-level cache metrics CI archives must be a function
+        // of the executed jobs, not of which worker ran what: workers
+        // harvest retired-backend counters, so the sums (and the peak
+        // maximum) are identical across pool sizes.
+        let circuits: Vec<_> = (0..6).map(|s| generators::supremacy(2, 3, 8, s)).collect();
+        let run = |workers: usize| {
+            let pool = Simulator::builder().workers(workers).seed(5).build_pool();
+            pool.run_batch(&circuits).expect("batch");
+            let stats = pool.stats();
+            let hits: u64 = stats.per_worker.iter().map(|w| w.ct_hits).sum();
+            let misses: u64 = stats.per_worker.iter().map(|w| w.ct_misses).sum();
+            (hits, misses, stats.peak_nodes(), stats.ct_hit_rate())
+        };
+        let one = run(1);
+        let three = run(3);
+        assert!(one.0 > 0, "workload must exercise the caches");
+        assert_eq!(one, three, "1-worker vs 3-worker cache aggregates");
+    }
+
+    #[test]
     fn batch_outcomes_match_input_order() {
         let pool = Simulator::builder().workers(4).build_pool();
         let circuits = vec![

@@ -156,8 +156,27 @@ pub struct WorkerStats {
     pub busy: Duration,
     /// Alive DD nodes in this worker's package after its last task.
     pub alive_nodes: usize,
+    /// Peak simultaneously-alive DD nodes (both node kinds) over every
+    /// backend this worker has owned — the worker's node-memory
+    /// high-water mark, accumulated like [`WorkerStats::ct_hits`].
+    pub peak_nodes: usize,
     /// Gate DDs cached in this worker's backend after its last task.
     pub cached_gates: usize,
+    /// Compute-cache hits summed over every backend this worker has
+    /// owned (all four lossy tables combined). Run jobs rebuild the
+    /// backend per job (see the module docs); retiring a backend
+    /// harvests its counters into this running total, so summing the
+    /// field across workers covers every executed job — a
+    /// deterministic quantity, independent of which worker ran what.
+    pub ct_hits: u64,
+    /// Compute-cache misses, accumulated like [`WorkerStats::ct_hits`].
+    pub ct_misses: u64,
+    /// Live unique-table entries in this worker's package after its
+    /// last task.
+    pub unique_len: usize,
+    /// Unique-table buckets in this worker's package after its last
+    /// task.
+    pub unique_capacity: usize,
 }
 
 /// Aggregated pool statistics: wall time, queue pressure and the
@@ -197,6 +216,36 @@ impl PoolStats {
     #[must_use]
     pub fn shots_drawn(&self) -> usize {
         self.per_worker.iter().map(|w| w.shots_drawn).sum()
+    }
+
+    /// Aggregate compute-cache hit rate over every job the pool has
+    /// executed (workers accumulate retired-backend counters, so this
+    /// is deterministic regardless of scheduling; 0 when nothing was
+    /// looked up).
+    #[must_use]
+    pub fn ct_hit_rate(&self) -> f64 {
+        let hits: u64 = self.per_worker.iter().map(|w| w.ct_hits).sum();
+        let misses: u64 = self.per_worker.iter().map(|w| w.ct_misses).sum();
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                hits as f64 / total as f64
+            }
+        }
+    }
+
+    /// Highest peak node count over every package any worker has
+    /// owned — the pool's per-package node-memory high-water mark.
+    #[must_use]
+    pub fn peak_nodes(&self) -> usize {
+        self.per_worker
+            .iter()
+            .map(|w| w.peak_nodes)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -521,6 +570,13 @@ struct Worker {
     template: SimulatorBuilder,
     backend: DdBackend,
     epoch: Option<(u64, RunOutcome<RunResult>)>,
+    /// Cache counters harvested from retired backends (each run job
+    /// rebuilds the backend, so the live package only covers the
+    /// current job). Summed across workers these cover every executed
+    /// job — deterministic regardless of scheduling.
+    harvested_ct_hits: u64,
+    harvested_ct_misses: u64,
+    harvested_peak_nodes: usize,
 }
 
 impl Worker {
@@ -528,6 +584,10 @@ impl Worker {
     /// template (plus an optional strategy override). Job isolation is
     /// the pool's determinism linchpin — see the module docs.
     fn fresh_backend(&mut self, strategy: Option<Strategy>) {
+        let pkg = self.backend.sim().package().stats();
+        self.harvested_ct_hits += pkg.ct_hits;
+        self.harvested_ct_misses += pkg.ct_misses;
+        self.harvested_peak_nodes = self.harvested_peak_nodes.max(pkg.peak_nodes());
         self.epoch = None; // handle dies with the old package
         let mut template = self.template.clone();
         if let Some(strategy) = strategy {
@@ -597,8 +657,16 @@ impl Worker {
         stats.shots_drawn += shots;
         stats.busy += busy;
         let sim = self.backend.sim();
-        stats.alive_nodes = sim.package().alive_vnodes() + sim.package().alive_mnodes();
+        let pkg = sim.package().stats();
+        stats.alive_nodes = pkg.vnodes_alive + pkg.mnodes_alive;
         stats.cached_gates = sim.gate_cache_len();
+        // Harvested totals plus the live package: covers every job this
+        // worker has executed.
+        stats.peak_nodes = self.harvested_peak_nodes.max(pkg.peak_nodes());
+        stats.ct_hits = self.harvested_ct_hits + pkg.ct_hits;
+        stats.ct_misses = self.harvested_ct_misses + pkg.ct_misses;
+        stats.unique_len = pkg.unique_len;
+        stats.unique_capacity = pkg.unique_capacity;
     }
 }
 
@@ -614,6 +682,9 @@ fn worker_loop(
         template: template.clone(),
         backend: template.clone().build_backend(),
         epoch: None,
+        harvested_ct_hits: 0,
+        harvested_ct_misses: 0,
+        harvested_peak_nodes: 0,
     };
     loop {
         // Hold the queue lock only for the dequeue, never while

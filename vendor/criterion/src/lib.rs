@@ -38,9 +38,18 @@ impl Default for Criterion {
             .skip(1)
             .find(|a| !a.starts_with('-'))
             .filter(|a| !a.is_empty());
+        // `cargo bench -- --test` (real criterion's smoke mode): run
+        // every benchmark body once to prove it works, skip the timed
+        // measurement loop. CI uses this so the harness cannot rot
+        // without spending bench-length wall time.
+        let test_mode = std::env::args().skip(1).any(|a| a == "--test");
         Self {
             filter,
-            measurement_time: Duration::from_millis(400),
+            measurement_time: if test_mode {
+                Duration::ZERO
+            } else {
+                Duration::from_millis(400)
+            },
         }
     }
 }
