@@ -83,11 +83,9 @@ impl Backend for DdBackend {
     }
 
     fn prepare(&self, circuit: &Circuit) -> Result<Executable> {
-        self.sim
-            .options()
-            .strategy
-            .validate()
-            .map_err(ExecError::from)?;
+        // Validates whatever policy the simulator runs with — a
+        // Strategy preset or a custom ApproxPolicy (its begin() hook).
+        self.sim.validate_policy(circuit).map_err(ExecError::from)?;
         circuit.validate()?;
         Ok(Executable::from_validated(circuit.clone()))
     }

@@ -118,6 +118,14 @@ pub struct BackendStats {
     pub approx_rounds: usize,
     /// End-to-end fidelity estimate (1.0 for exact engines).
     pub fidelity: f64,
+    /// Guaranteed end-to-end fidelity floor: product of the per-round
+    /// *target* fidelities of every fired round that removed nodes
+    /// (≤ the measured [`BackendStats::fidelity`]; 1.0 for exact
+    /// engines).
+    pub fidelity_lower_bound: f64,
+    /// Name of the approximation policy that steered the run
+    /// (`"exact"` for engines that never approximate).
+    pub policy: String,
     /// Nodes removed by truncation (0 for exact engines).
     pub nodes_removed: usize,
     /// Wall-clock runtime of the run.
@@ -165,6 +173,8 @@ impl From<SimStats> for BackendStats {
             peak_size: s.max_dd_size,
             approx_rounds: s.approx_rounds,
             fidelity: s.fidelity,
+            fidelity_lower_bound: s.fidelity_lower_bound,
+            policy: s.policy,
             nodes_removed: s.nodes_removed,
             runtime: s.runtime,
             size_series: s.size_series,

@@ -74,6 +74,8 @@ impl Backend for StatevectorBackend {
             peak_size: state.amplitudes().len(),
             approx_rounds: 0,
             fidelity: 1.0,
+            fidelity_lower_bound: 1.0,
+            policy: "exact".to_string(),
             nodes_removed: 0,
             runtime: start.elapsed(),
             size_series: Vec::new(),

@@ -73,8 +73,10 @@ fn run() -> Result<(), String> {
         "final DD size  : {} nodes",
         sim.package().vsize(run.state())
     );
+    println!("policy         : {}", run.stats.policy);
     println!("approx rounds  : {}", run.stats.approx_rounds);
     println!("f_final        : {:.6}", run.stats.fidelity);
+    println!("f_lower_bound  : {:.6}", run.stats.fidelity_lower_bound);
 
     if shots > 0 {
         print_counts(&circuit, shots, sim.draw_counts(&run, shots));
@@ -122,8 +124,10 @@ fn run_pooled(
     println!("runtime        : {:?}", outcome.stats.runtime);
     println!("max DD size    : {} nodes", outcome.stats.peak_size);
     println!("final DD size  : {} nodes", outcome.final_size);
+    println!("policy         : {}", outcome.stats.policy);
     println!("approx rounds  : {}", outcome.stats.approx_rounds);
     println!("f_final        : {:.6}", outcome.stats.fidelity);
+    println!("f_lower_bound  : {:.6}", outcome.stats.fidelity_lower_bound);
 
     if let Some(counts) = outcome.counts {
         print_counts(circuit, shots, counts);

@@ -65,6 +65,14 @@ pub struct TableRow {
     /// Measured final fidelity (product of round fidelities; exact by
     /// Lemma 1).
     pub f_final: f64,
+    /// Guaranteed final-fidelity floor: product of the per-round
+    /// *target* fidelities of the rounds that removed nodes
+    /// (≤ `f_final`).
+    pub fidelity_lower_bound: f64,
+    /// Name of the approximation policy that produced the approximate
+    /// run (`"memory-driven"`, `"fidelity-driven"`, `"budget"`, or a
+    /// custom policy's name).
+    pub policy: String,
     /// For Shor rows: whether classical post-processing recovered the
     /// factors from the approximate state.
     pub factored: Option<bool>,
@@ -132,6 +140,8 @@ pub fn memory_driven_row(
         f_round,
         approx_runtime: stats.runtime,
         f_final: stats.fidelity,
+        fidelity_lower_bound: stats.fidelity_lower_bound,
+        policy: stats.policy,
         factored: None,
         ct_hit_rate,
         unique_occupancy,
@@ -202,6 +212,8 @@ pub fn fidelity_driven_row(
         f_round,
         approx_runtime: stats.runtime,
         f_final: stats.fidelity,
+        fidelity_lower_bound: stats.fidelity_lower_bound,
+        policy: stats.policy,
         factored: Some(factored),
         ct_hit_rate,
         unique_occupancy,
@@ -227,6 +239,8 @@ fn row_from_outcome(outcome: &PoolOutcome, f_round: f64, exact: ExactRef) -> Tab
         f_round,
         approx_runtime: outcome.stats.runtime,
         f_final: outcome.stats.fidelity,
+        fidelity_lower_bound: outcome.stats.fidelity_lower_bound,
+        policy: outcome.stats.policy.clone(),
         factored: None,
         ct_hit_rate,
         unique_occupancy,
@@ -369,6 +383,8 @@ impl TableRow {
                 Json::Num(self.approx_runtime.as_secs_f64()),
             ),
             ("f_final", Json::Num(self.f_final)),
+            ("fidelity_lower_bound", Json::Num(self.fidelity_lower_bound)),
+            ("policy", Json::str(self.policy.as_str())),
             ("factored", self.factored.map_or(Json::Null, Json::Bool)),
             (
                 "ct_hit_rate",
@@ -537,6 +553,10 @@ mod tests {
         assert!(text.contains("\"name\":\"qsup_2x2_6_0\""));
         assert!(text.contains("\"exact_max_dd\":null"));
         assert!(text.contains("\"f_round\":0.9"));
+        // The policy columns CI asserts on in the smoke artifact.
+        assert!(text.contains("\"policy\":\"memory-driven\""));
+        assert!(text.contains("\"fidelity_lower_bound\":"));
+        assert!(text.contains("\"rounds\":"));
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! simulator carries a deterministic sampling RNG seeded through
 //! [`SimulatorBuilder::seed`].
 
+use std::sync::Arc;
+
 use crate::options::{ApproxPrimitive, SimOptions, Strategy};
+use crate::policy::{PolicyFactory, SharedObserver, SimObserver};
 use crate::simulator::{Simulator, DEFAULT_SAMPLE_SEED};
 
 /// Builder for [`Simulator`] — the canonical way to configure a run.
@@ -23,12 +26,31 @@ use crate::simulator::{Simulator, DEFAULT_SAMPLE_SEED};
 /// let run = sim.run(&approxdd_circuit::generators::ghz(8)).unwrap();
 /// assert_eq!(run.stats.size_series.len(), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Beyond the [`Strategy`] presets, [`SimulatorBuilder::policy`]
+/// installs any custom [`crate::ApproxPolicy`] and
+/// [`SimulatorBuilder::observe`] attaches run-trace observers — see
+/// the [`crate::policy`] module docs.
+#[derive(Clone)]
 #[must_use = "builders do nothing until .build() is called"]
 pub struct SimulatorBuilder {
     options: SimOptions,
     seed: Option<u64>,
     workers: Option<usize>,
+    policy: Option<Arc<dyn PolicyFactory>>,
+    observers: Vec<SharedObserver>,
+}
+
+impl std::fmt::Debug for SimulatorBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatorBuilder")
+            .field("options", &self.options)
+            .field("seed", &self.seed)
+            .field("workers", &self.workers)
+            .field("policy", &self.policy.is_some())
+            .field("observers", &self.observers.len())
+            .finish()
+    }
 }
 
 impl SimulatorBuilder {
@@ -38,12 +60,84 @@ impl SimulatorBuilder {
             options: SimOptions::default(),
             seed: None,
             workers: None,
+            policy: None,
+            observers: Vec::new(),
         }
     }
 
-    /// Sets the approximation strategy.
+    /// Sets the approximation strategy (a preset that constructs the
+    /// matching [`crate::ApproxPolicy`]). Clears any custom policy set
+    /// through [`SimulatorBuilder::policy`] — the last of the two calls
+    /// wins, which is what lets per-job strategy overrides in pooled
+    /// execution replace a template's policy.
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.options.strategy = strategy;
+        self.policy = None;
+        self
+    }
+
+    /// Installs a custom approximation policy via its factory — every
+    /// run (and, in pooled execution, every job) builds a fresh policy
+    /// instance from it. Closures work directly:
+    ///
+    /// ```
+    /// use approxdd_sim::{ExactPolicy, Simulator};
+    ///
+    /// let sim = Simulator::builder()
+    ///     .policy(|| ExactPolicy)
+    ///     .build();
+    /// assert_eq!(sim.policy_name(), "exact");
+    /// ```
+    ///
+    /// Overrides any [`SimulatorBuilder::strategy`] preset set earlier;
+    /// a later `strategy(…)` call clears it again (last call wins).
+    pub fn policy<P: PolicyFactory + 'static>(self, factory: P) -> Self {
+        self.policy_factory(Arc::new(factory))
+    }
+
+    /// [`SimulatorBuilder::policy`] taking an already-shared factory
+    /// (what pooled per-job overrides pass through).
+    pub fn policy_factory(mut self, factory: Arc<dyn PolicyFactory>) -> Self {
+        self.policy = Some(factory);
+        self
+    }
+
+    /// The policy factory the built simulator will use: the custom one,
+    /// or the [`SimulatorBuilder::strategy`] preset.
+    #[must_use]
+    pub fn policy_factory_or_preset(&self) -> Arc<dyn PolicyFactory> {
+        self.policy
+            .clone()
+            .unwrap_or_else(|| Arc::new(self.options.strategy))
+    }
+
+    /// Attaches a run-trace observer; the built simulator reports every
+    /// [`crate::TraceEvent`] to it. Repeatable — each call adds another
+    /// observer. Keep your own clone of the handle to read results
+    /// back.
+    ///
+    /// When this builder serves as a **pool template**, every worker's
+    /// per-job simulator shares these same observer handles, so events
+    /// from concurrently executing jobs interleave in scheduling
+    /// (worker-count-dependent) order — fine for aggregate observers
+    /// (counters, histograms), wrong for per-run trace consumption.
+    /// For a deterministic per-job trace in pooled execution, use the
+    /// pool's per-job capture (`PoolJob::trace` in `approxdd-exec`)
+    /// instead.
+    ///
+    /// ```
+    /// use approxdd_sim::{Simulator, TraceRecorder};
+    ///
+    /// let trace = TraceRecorder::shared();
+    /// let mut sim = Simulator::builder().observe(trace.clone()).build();
+    /// sim.run(&approxdd_circuit::generators::ghz(4)).unwrap();
+    /// assert!(!trace.lock().unwrap().events().is_empty());
+    /// ```
+    pub fn observe<O: SimObserver + Send + 'static>(
+        mut self,
+        observer: Arc<std::sync::Mutex<O>>,
+    ) -> Self {
+        self.observers.push(observer);
         self
     }
 
@@ -152,14 +246,40 @@ impl SimulatorBuilder {
         &self.options
     }
 
-    /// Builds the simulator. Strategy parameters are validated at
-    /// [`Simulator::run`] time, as before.
+    /// Builds the simulator. Policy parameters are validated at
+    /// [`Simulator::run`] time (when the policy sees the circuit); use
+    /// [`SimulatorBuilder::try_build`] to reject bad strategy presets
+    /// eagerly.
     #[must_use = "building a simulator has no side effects"]
     pub fn build(self) -> Simulator {
-        match self.seed {
+        let factory = self.policy_factory_or_preset();
+        let mut sim = match self.seed {
             Some(seed) => Simulator::seeded(self.options, seed),
             None => Simulator::new(self.options),
+        };
+        sim.set_policy_factory(factory);
+        for observer in self.observers {
+            sim.attach_observer(observer);
         }
+        sim
+    }
+
+    /// Like [`SimulatorBuilder::build`], but validates the
+    /// [`SimulatorBuilder::strategy`] preset eagerly — NaN, zero or
+    /// out-of-range fidelities and a zero node threshold are rejected
+    /// here with a typed [`crate::SimError`] instead of at run time.
+    /// (A custom [`SimulatorBuilder::policy`] validates itself when a
+    /// run begins, since validation may depend on the circuit.)
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::InvalidStrategy`] for out-of-range preset
+    /// parameters.
+    pub fn try_build(self) -> crate::Result<Simulator> {
+        if self.policy.is_none() {
+            self.options.validate()?;
+        }
+        Ok(self.build())
     }
 }
 

@@ -26,6 +26,14 @@ pub enum SimError {
         /// Register width of the circuit.
         circuit: usize,
     },
+    /// The run's [`crate::ApproxPolicy`] returned
+    /// [`crate::PolicyAction::Abort`].
+    PolicyAbort {
+        /// Index of the operation after which the policy aborted.
+        op_index: usize,
+        /// Name of the aborting policy.
+        policy: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +46,10 @@ impl fmt::Display for SimError {
                 f,
                 "initial state has {state} qubits but the circuit expects {circuit}"
             ),
+            SimError::PolicyAbort { op_index, policy } => write!(
+                f,
+                "policy '{policy}' aborted the run after operation {op_index}"
+            ),
         }
     }
 }
@@ -47,7 +59,9 @@ impl Error for SimError {
         match self {
             SimError::Dd(e) => Some(e),
             SimError::Circuit(e) => Some(e),
-            SimError::InvalidStrategy { .. } | SimError::WidthMismatch { .. } => None,
+            SimError::InvalidStrategy { .. }
+            | SimError::WidthMismatch { .. }
+            | SimError::PolicyAbort { .. } => None,
         }
     }
 }

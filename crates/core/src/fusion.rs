@@ -65,11 +65,13 @@ impl Simulator {
             max_dd_size: self.package().vsize(state),
             approx_rounds: 0,
             fidelity: 1.0,
+            fidelity_lower_bound: 1.0,
             round_fidelities: Vec::new(),
             nodes_removed: 0,
             runtime: std::time::Duration::ZERO,
             final_threshold: None,
             size_series: Vec::new(),
+            policy: "exact".to_string(),
             package: approxdd_dd::PackageStats::default(),
         };
 

@@ -20,6 +20,13 @@
 //! the exact end-to-end fidelity in [`SimStats::fidelity`] without ever
 //! materializing the exact state.
 //!
+//! Both strategies are presets over an open seam: the [`ApproxPolicy`]
+//! trait decides, after every circuit operation, whether to continue,
+//! truncate, or abort; [`SimObserver`]s receive structured
+//! [`TraceEvent`]s auditing every decision. See the [`policy`] module
+//! for writing custom policies (e.g. the built-in [`BudgetPolicy`]
+//! hybrid) and observing runs.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,12 +49,17 @@ mod builder;
 mod error;
 mod fusion;
 mod options;
+pub mod policy;
 mod schedule;
 mod simulator;
 
 pub use builder::SimulatorBuilder;
 pub use error::SimError;
 pub use options::{ApproxPrimitive, SimOptions, Strategy};
+pub use policy::{
+    ApproxPolicy, BudgetPolicy, ExactPolicy, FidelityDrivenPolicy, MemoryDrivenPolicy,
+    PolicyAction, PolicyCtx, PolicyFactory, SharedObserver, SimObserver, TraceEvent, TraceRecorder,
+};
 pub use schedule::plan_rounds;
 pub use simulator::{RunResult, SimStats, Simulator, DEFAULT_SAMPLE_SEED};
 

@@ -199,6 +199,22 @@ pub struct SimOptions {
     pub compute_cache_bits: Option<u32>,
 }
 
+impl SimOptions {
+    /// Validates the options: the strategy preset's parameters (NaN,
+    /// zero and out-of-range fidelities, zero node thresholds — see
+    /// [`Strategy::validate`]) plus any future option-level
+    /// constraints. What [`crate::SimulatorBuilder::try_build`] checks
+    /// eagerly.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidStrategy`] for out-of-range strategy
+    /// parameters.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.strategy.validate()
+    }
+}
+
 impl Default for SimOptions {
     fn default() -> Self {
         Self {
@@ -281,5 +297,50 @@ mod tests {
         let o = SimOptions::default();
         assert_eq!(o.strategy, Strategy::Exact);
         assert!(!o.record_size_series);
+        assert!(o.validate().is_ok());
+    }
+
+    /// Input-validation hardening: every NaN / zero / out-of-range
+    /// parameter is rejected with a typed error instead of silently
+    /// running.
+    #[test]
+    fn nan_and_out_of_range_parameters_are_rejected() {
+        // Memory-driven: NaN round fidelity.
+        assert!(matches!(
+            Strategy::memory_driven(10, f64::NAN).validate(),
+            Err(SimError::InvalidStrategy { .. })
+        ));
+        // Memory-driven: zero round fidelity.
+        assert!(Strategy::memory_driven(10, 0.0).validate().is_err());
+        // Memory-driven: zero node threshold.
+        assert!(Strategy::memory_driven(0, 0.9).validate().is_err());
+        // Memory-driven: NaN / sub-unit / infinite threshold growth.
+        for growth in [f64::NAN, 0.5, f64::INFINITY] {
+            assert!(
+                Strategy::MemoryDriven {
+                    node_threshold: 10,
+                    round_fidelity: 0.9,
+                    threshold_growth: growth,
+                }
+                .validate()
+                .is_err(),
+                "growth {growth} must be rejected"
+            );
+        }
+        // Fidelity-driven: NaN final / round fidelity, zero, above one.
+        assert!(Strategy::fidelity_driven(f64::NAN, 0.9).validate().is_err());
+        assert!(Strategy::fidelity_driven(0.5, f64::NAN).validate().is_err());
+        assert!(Strategy::fidelity_driven(0.0, 0.9).validate().is_err());
+        assert!(Strategy::fidelity_driven(1.5, 0.9).validate().is_err());
+        assert!(Strategy::fidelity_driven(0.5, 0.0).validate().is_err());
+        // Options-level validation delegates to the strategy.
+        let options = SimOptions {
+            strategy: Strategy::memory_driven(0, 0.9),
+            ..SimOptions::default()
+        };
+        assert!(matches!(
+            options.validate(),
+            Err(SimError::InvalidStrategy { .. })
+        ));
     }
 }

@@ -1,7 +1,8 @@
 //! The [`Simulator`]: applies circuits to decision-diagram states with
-//! optional approximation rounds.
+//! policy-controlled approximation rounds.
 
 use std::collections::HashMap;
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 use approxdd_circuit::{Circuit, Operation};
@@ -10,8 +11,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::builder::SimulatorBuilder;
-use crate::options::{SimOptions, Strategy};
-use crate::schedule::plan_rounds;
+use crate::options::SimOptions;
+use crate::policy::{PolicyAction, PolicyCtx, PolicyFactory, SharedObserver, TraceEvent};
 use crate::Result;
 
 /// Seed of a simulator's owned sampling RNG when none is given through
@@ -38,15 +39,28 @@ pub struct SimStats {
     /// integration suite validates agreement within a few percent on
     /// supremacy workloads. 1.0 for exact runs.
     pub fidelity: f64,
+    /// Guaranteed end-to-end fidelity floor: the product of the
+    /// *target* fidelities of every fired round that actually removed
+    /// nodes (a no-op round provably keeps fidelity exactly 1, so it
+    /// charges nothing). Each charged round removes at most
+    /// `1 − target` of contribution mass, so the measured
+    /// [`SimStats::fidelity`] is always ≥ this bound. 1.0 for exact
+    /// runs.
+    pub fidelity_lower_bound: f64,
     /// Per-round measured fidelities, in application order.
     pub round_fidelities: Vec<f64>,
     /// Total nodes removed across all rounds.
     pub nodes_removed: usize,
     /// Wall-clock runtime of the run.
     pub runtime: Duration,
-    /// Final node threshold (memory-driven strategy only; it doubles on
-    /// every round).
+    /// Final node threshold ([`crate::ApproxPolicy::node_threshold`];
+    /// memory-style policies grow it per round, schedule-driven
+    /// policies report `None`).
     pub final_threshold: Option<usize>,
+    /// Name of the [`crate::ApproxPolicy`] that steered the run
+    /// (`"exact"`, `"memory-driven"`, `"fidelity-driven"`, `"budget"`,
+    /// or a custom policy's name).
+    pub policy: String,
     /// DD size after every gate (only when
     /// [`SimOptions::record_size_series`] is set).
     pub size_series: Vec<usize>,
@@ -142,17 +156,35 @@ enum TableGuard {
     Dense(#[allow(dead_code)] std::sync::Arc<Vec<approxdd_complex::Cplx>>),
 }
 
-/// A DD-based quantum circuit simulator with configurable approximation
-/// (see the crate docs for the two strategies).
+/// A DD-based quantum circuit simulator with policy-controlled
+/// approximation (see the crate docs for the paper's two preset
+/// strategies and [`crate::ApproxPolicy`] for the extensible seam).
 ///
 /// The simulator owns a [`Package`]; run results reference nodes inside
 /// it, so sampling and fidelity queries go through the simulator.
-#[derive(Debug)]
+///
+/// Every run builds a fresh policy instance from the simulator's
+/// [`PolicyFactory`] (so policy state never leaks between runs) and
+/// reports structured [`TraceEvent`]s to any attached observers.
 pub struct Simulator {
     package: Package,
     options: SimOptions,
     gate_cache: HashMap<GateKey, (MEdge, Option<TableGuard>)>,
     rng: StdRng,
+    policy_factory: Arc<dyn PolicyFactory>,
+    observers: Vec<SharedObserver>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("package", &self.package)
+            .field("options", &self.options)
+            .field("policy", &self.policy_factory.build().name())
+            .field("observers", &self.observers.len())
+            .field("gate_cache", &self.gate_cache.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Simulator {
@@ -170,7 +202,10 @@ impl Simulator {
     }
 
     /// Creates a simulator with the given options and sampling seed
-    /// (what [`SimulatorBuilder::seed`] builds).
+    /// (what [`SimulatorBuilder::seed`] builds). The approximation
+    /// policy is derived from [`SimOptions::strategy`]; use
+    /// [`Simulator::set_policy_factory`] (or
+    /// [`SimulatorBuilder::policy`]) to install a custom policy.
     #[must_use]
     pub fn seeded(options: SimOptions, seed: u64) -> Self {
         Self {
@@ -178,10 +213,53 @@ impl Simulator {
                 approxdd_complex::Tolerance::default(),
                 options.compute_cache_bits,
             ),
+            policy_factory: Arc::new(options.strategy),
+            observers: Vec::new(),
             options,
             gate_cache: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Replaces the approximation-policy factory. Each run builds a
+    /// fresh policy instance from it; [`SimOptions::strategy`] no
+    /// longer steers the run after this call (it remains visible in
+    /// [`Simulator::options`] as configuration history only).
+    pub fn set_policy_factory(&mut self, factory: Arc<dyn PolicyFactory>) {
+        self.policy_factory = factory;
+    }
+
+    /// The factory runs build their policy from.
+    #[must_use]
+    pub fn policy_factory(&self) -> &Arc<dyn PolicyFactory> {
+        &self.policy_factory
+    }
+
+    /// The name of the policy a run of this simulator would use.
+    #[must_use]
+    pub fn policy_name(&self) -> String {
+        self.policy_factory.build().name().to_string()
+    }
+
+    /// Attaches a trace observer; every subsequent run reports its
+    /// [`TraceEvent`]s to it (in addition to any observers attached
+    /// earlier). Keep your own clone of the handle to read results
+    /// back — see [`crate::TraceRecorder`].
+    pub fn attach_observer(&mut self, observer: SharedObserver) {
+        self.observers.push(observer);
+    }
+
+    /// Validates this simulator's policy against a circuit without
+    /// running it: builds a fresh policy and runs its
+    /// [`crate::ApproxPolicy::begin`] hook. What `Backend::prepare`
+    /// uses.
+    ///
+    /// # Errors
+    ///
+    /// The policy's validation error (typically
+    /// [`crate::SimError::InvalidStrategy`]).
+    pub fn validate_policy(&self, circuit: &Circuit) -> Result<()> {
+        self.policy_factory.build().begin(circuit)
     }
 
     /// Re-seeds the owned sampling RNG.
@@ -225,7 +303,10 @@ impl Simulator {
     ///
     /// See [`Simulator::run`].
     pub fn run_from(&mut self, circuit: &Circuit, initial: VEdge) -> Result<RunResult> {
-        self.options.strategy.validate()?;
+        // A fresh policy per run: no run observes another run's policy
+        // state — the determinism linchpin of pooled execution.
+        let mut policy = self.policy_factory.build();
+        policy.begin(circuit)?;
         circuit.validate()?;
         let level = self.package.vlevel(initial);
         if level != circuit.n_qubits() {
@@ -236,15 +317,6 @@ impl Simulator {
         }
         let start = Instant::now();
 
-        // Fidelity-driven round plan: op indices after which to truncate.
-        let planned: Vec<usize> = match self.options.strategy {
-            Strategy::FidelityDriven { .. } => {
-                plan_rounds(circuit, self.options.strategy.max_rounds())
-            }
-            _ => Vec::new(),
-        };
-        let mut plan_iter = planned.iter().copied().peekable();
-
         let mut state = initial;
         self.package.inc_ref(state);
 
@@ -253,75 +325,148 @@ impl Simulator {
             max_dd_size: self.package.vsize(state),
             approx_rounds: 0,
             fidelity: 1.0,
+            fidelity_lower_bound: 1.0,
             round_fidelities: Vec::new(),
             nodes_removed: 0,
             runtime: Duration::ZERO,
             final_threshold: None,
             size_series: Vec::new(),
+            policy: policy.name().to_string(),
             package: approxdd_dd::PackageStats::default(),
         };
 
-        let mut mem_threshold = match self.options.strategy {
-            Strategy::MemoryDriven { node_threshold, .. } => Some(node_threshold),
-            _ => None,
-        };
+        self.emit(|| TraceEvent::RunStarted {
+            circuit: circuit.name().to_string(),
+            n_qubits: circuit.n_qubits(),
+            total_ops: circuit.ops().len(),
+            policy: policy.name().to_string(),
+        });
 
+        let total_ops = circuit.ops().len();
+        let mut live_nodes = stats.max_dd_size;
         for (i, op) in circuit.ops().iter().enumerate() {
-            if op.is_gate() {
-                let gate = self.gate_dd(circuit, op)?;
+            let applied_gate = op.is_gate();
+            if applied_gate {
+                // On failure, release the state root before returning —
+                // a leaked root would pin the partial state in the
+                // package forever (all error paths below do the same).
+                let gate = match self.gate_dd(circuit, op) {
+                    Ok(gate) => gate,
+                    Err(e) => {
+                        self.package.dec_ref(state);
+                        return Err(e);
+                    }
+                };
                 let new_state = self.package.apply(gate, state);
                 self.swap_root(&mut state, new_state);
                 stats.gates_applied += 1;
 
-                let size = self.package.vsize(state);
-                stats.max_dd_size = stats.max_dd_size.max(size);
+                live_nodes = self.package.vsize(state);
+                stats.max_dd_size = stats.max_dd_size.max(live_nodes);
                 if self.options.record_size_series {
-                    stats.size_series.push(size);
+                    stats.size_series.push(live_nodes);
                 }
-
-                // Memory-driven strategy: threshold check after each gate.
-                if let (
-                    Some(threshold),
-                    Strategy::MemoryDriven {
-                        round_fidelity,
-                        threshold_growth,
-                        ..
-                    },
-                ) = (mem_threshold, self.options.strategy)
-                {
-                    if size > threshold {
-                        self.truncate_state(&mut state, round_fidelity, &mut stats)?;
-                        let grown = (threshold as f64 * threshold_growth).ceil();
-                        mem_threshold = Some(if grown >= usize::MAX as f64 {
-                            usize::MAX
-                        } else {
-                            grown as usize
-                        });
-                    }
-                }
-
-                self.maybe_gc();
+                self.emit(|| TraceEvent::GateApplied {
+                    op_index: i,
+                    gates_applied: stats.gates_applied,
+                    live_nodes,
+                });
             }
 
-            // Fidelity-driven rounds fire on planned op indices (marker
-            // positions or evenly spaced gates).
-            if let Strategy::FidelityDriven { round_fidelity, .. } = self.options.strategy {
-                if plan_iter.peek() == Some(&i) {
-                    plan_iter.next();
-                    self.truncate_state(&mut state, round_fidelity, &mut stats)?;
-                    self.maybe_gc();
+            let ctx = PolicyCtx {
+                op_index: i,
+                total_ops,
+                applied_gate,
+                at_marker: matches!(op, Operation::ApproxPoint),
+                gates_applied: stats.gates_applied,
+                live_nodes,
+                peak_nodes: stats.max_dd_size,
+                rounds_taken: stats.approx_rounds,
+                fidelity_lower_bound: stats.fidelity_lower_bound,
+                fidelity_estimate: stats.fidelity,
+            };
+            let mut truncated = false;
+            match policy.decide(&ctx) {
+                PolicyAction::Continue => {}
+                PolicyAction::Truncate { round_fidelity } => {
+                    if !(round_fidelity > 0.0 && round_fidelity <= 1.0) {
+                        self.package.dec_ref(state);
+                        return Err(crate::SimError::InvalidStrategy {
+                            reason: "policy returned a round fidelity outside (0, 1]",
+                        });
+                    }
+                    self.emit(|| TraceEvent::RoundStarted {
+                        op_index: i,
+                        round: stats.approx_rounds + 1,
+                        target_fidelity: round_fidelity,
+                        live_nodes,
+                    });
+                    let nodes_before = live_nodes;
+                    let removed_before = stats.nodes_removed;
+                    if let Err(e) = self.truncate_state(&mut state, round_fidelity, &mut stats) {
+                        self.package.dec_ref(state);
+                        return Err(e);
+                    }
+                    // A no-op round provably kept fidelity exactly 1 —
+                    // charging its target to the floor would make
+                    // budget policies burn budget on rounds that
+                    // removed nothing.
+                    if stats.nodes_removed > removed_before {
+                        stats.fidelity_lower_bound *= round_fidelity;
+                    }
+                    live_nodes = self.package.vsize(state);
+                    self.emit(|| TraceEvent::Truncated {
+                        op_index: i,
+                        round: stats.approx_rounds,
+                        nodes_before,
+                        nodes_after: live_nodes,
+                        removed_nodes: stats.nodes_removed - removed_before,
+                        removed_mass: 1.0 - stats.round_fidelities.last().copied().unwrap_or(1.0),
+                    });
+                    truncated = true;
                 }
+                PolicyAction::Abort => {
+                    self.package.dec_ref(state);
+                    return Err(crate::SimError::PolicyAbort {
+                        op_index: i,
+                        policy: policy.name().to_string(),
+                    });
+                }
+            }
+            if applied_gate || truncated {
+                self.maybe_gc();
             }
         }
 
-        stats.final_threshold = mem_threshold;
+        stats.final_threshold = policy.node_threshold();
         stats.package = self.package.stats();
         stats.runtime = start.elapsed();
+        self.emit(|| TraceEvent::RunFinished {
+            gates_applied: stats.gates_applied,
+            rounds: stats.approx_rounds,
+            fidelity: stats.fidelity,
+            fidelity_lower_bound: stats.fidelity_lower_bound,
+        });
         Ok(RunResult {
             state,
             n_qubits: circuit.n_qubits(),
             stats,
         })
+    }
+
+    /// Delivers one trace event to every attached observer. The closure
+    /// keeps event construction free when nobody is listening.
+    fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let event = make();
+        for observer in &self.observers {
+            observer
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .on_event(&event);
+        }
     }
 
     /// Releases a run result's state from the GC roots. The result's
@@ -523,6 +668,7 @@ impl Default for Simulator {
 mod tests {
     use super::*;
     use crate::error::SimError;
+    use crate::options::Strategy;
     use approxdd_circuit::generators;
     use approxdd_statevector::State;
     use rand::rngs::StdRng;

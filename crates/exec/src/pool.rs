@@ -35,7 +35,9 @@ use std::time::{Duration, Instant};
 
 use approxdd_backend::{Backend, BackendStats, BuildBackend, DdBackend, ExecError, RunOutcome};
 use approxdd_circuit::Circuit;
-use approxdd_sim::{RunResult, SimulatorBuilder, Strategy};
+use approxdd_sim::{
+    PolicyFactory, RunResult, SharedObserver, SimulatorBuilder, Strategy, TraceEvent, TraceRecorder,
+};
 
 use crate::seed::{SeedStream, DOMAIN_RUN, DOMAIN_SAMPLE};
 
@@ -44,24 +46,41 @@ use crate::seed::{SeedStream, DOMAIN_RUN, DOMAIN_SAMPLE};
 /// seed — is identical no matter how many workers drain the queue.
 pub const SHOT_CHUNK: usize = 2048;
 
-/// One unit of pooled work: a circuit, an optional per-job strategy
-/// override (sweeps run many strategies over one pool), and an optional
-/// number of measurement shots to draw after the run.
-#[derive(Debug, Clone)]
+/// One unit of pooled work: a circuit, an optional per-job policy or
+/// strategy override (sweeps run many configurations over one pool),
+/// an optional number of measurement shots to draw after the run, and
+/// an optional request to capture the run's trace.
+#[derive(Clone)]
 pub struct PoolJob {
     circuit: Circuit,
     strategy: Option<Strategy>,
+    policy: Option<Arc<dyn PolicyFactory>>,
     shots: usize,
+    trace: bool,
+}
+
+impl std::fmt::Debug for PoolJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolJob")
+            .field("circuit", &self.circuit.name())
+            .field("strategy", &self.strategy)
+            .field("policy", &self.policy.is_some())
+            .field("shots", &self.shots)
+            .field("trace", &self.trace)
+            .finish()
+    }
 }
 
 impl PoolJob {
-    /// A plain run of `circuit` under the pool template's strategy.
+    /// A plain run of `circuit` under the pool template's policy.
     #[must_use]
     pub fn new(circuit: Circuit) -> Self {
         Self {
             circuit,
             strategy: None,
+            policy: None,
             shots: 0,
+            trace: false,
         }
     }
 
@@ -72,12 +91,33 @@ impl PoolJob {
         self
     }
 
+    /// Overrides the approximation policy for this job only — the
+    /// worker builds a fresh policy instance from the factory for this
+    /// job (per-job instantiation is what keeps results bit-identical
+    /// and worker-count-invariant). Takes precedence over
+    /// [`PoolJob::strategy`].
+    #[must_use]
+    pub fn policy<P: PolicyFactory + 'static>(mut self, factory: P) -> Self {
+        self.policy = Some(Arc::new(factory));
+        self
+    }
+
     /// Draws `shots` measurement samples after the run (seeded from the
     /// pool's per-job seed stream; reported in
     /// [`PoolOutcome::counts`]).
     #[must_use]
     pub fn shots(mut self, shots: usize) -> Self {
         self.shots = shots;
+        self
+    }
+
+    /// Captures the run's [`TraceEvent`] stream into
+    /// [`PoolOutcome::trace`]. Traces contain no wall-clock data, so
+    /// the captured stream of a job is identical regardless of worker
+    /// count or scheduling.
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -106,17 +146,22 @@ pub struct PoolOutcome {
     pub final_size: usize,
     /// Measurement histogram when the job requested shots.
     pub counts: Option<HashMap<u64, usize>>,
+    /// The run's trace when the job requested it ([`PoolJob::trace`]).
+    pub trace: Option<Vec<TraceEvent>>,
     /// Index of the worker that executed the job (diagnostic only —
     /// excluded from [`PoolOutcome::fingerprint`]).
     pub worker: usize,
 }
 
 impl PoolOutcome {
-    /// A hash over every deterministic field — everything except the
-    /// wall-clock runtime and the executing worker. Two runs of the
-    /// same job under the same root seed produce equal fingerprints
-    /// regardless of pool size; the contract suite asserts exactly
-    /// that.
+    /// A hash over every deterministic *result* field — everything
+    /// except the wall-clock runtime, the executing worker, the trace
+    /// (itself deterministic, but an audit artifact rather than a
+    /// result) and the policy *name* (so a custom policy replicating a
+    /// preset's decisions fingerprints identically to the preset). Two
+    /// runs of the same job under the same root seed produce equal
+    /// fingerprints regardless of pool size; the contract suite asserts
+    /// exactly that.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -126,6 +171,7 @@ impl PoolOutcome {
         self.stats.peak_size.hash(&mut h);
         self.stats.approx_rounds.hash(&mut h);
         self.stats.fidelity.to_bits().hash(&mut h);
+        self.stats.fidelity_lower_bound.to_bits().hash(&mut h);
         self.stats.nodes_removed.hash(&mut h);
         self.stats.size_series.hash(&mut h);
         self.final_size.hash(&mut h);
@@ -166,8 +212,14 @@ pub struct WorkerStats {
     /// owned (all four lossy tables combined). Run jobs rebuild the
     /// backend per job (see the module docs); retiring a backend
     /// harvests its counters into this running total, so summing the
-    /// field across workers covers every executed job — a
+    /// field across workers covers every executed run job — a
     /// deterministic quantity, independent of which worker ran what.
+    /// Sharded sampling ([`BackendPool::sample_counts`]) is the one
+    /// exception: each worker that serves an epoch re-runs the circuit
+    /// once, so sampling adds up to one run's counters *per
+    /// participating worker* and the cross-worker sum is then
+    /// scheduling-dependent (the sampled *histograms* stay exactly
+    /// deterministic).
     pub ct_hits: u64,
     /// Compute-cache misses, accumulated like [`WorkerStats::ct_hits`].
     pub ct_misses: u64,
@@ -581,23 +633,37 @@ struct Worker {
 
 impl Worker {
     /// Replaces the backend with a fresh instance built from the
-    /// template (plus an optional strategy override). Job isolation is
-    /// the pool's determinism linchpin — see the module docs.
-    fn fresh_backend(&mut self, strategy: Option<Strategy>) {
+    /// template (plus an optional policy or strategy override — the
+    /// policy factory wins). Job isolation is the pool's determinism
+    /// linchpin — see the module docs.
+    fn fresh_backend(
+        &mut self,
+        strategy: Option<Strategy>,
+        policy: Option<&Arc<dyn PolicyFactory>>,
+    ) {
         let pkg = self.backend.sim().package().stats();
         self.harvested_ct_hits += pkg.ct_hits;
         self.harvested_ct_misses += pkg.ct_misses;
         self.harvested_peak_nodes = self.harvested_peak_nodes.max(pkg.peak_nodes());
         self.epoch = None; // handle dies with the old package
         let mut template = self.template.clone();
-        if let Some(strategy) = strategy {
+        if let Some(factory) = policy {
+            template = template.policy_factory(Arc::clone(factory));
+        } else if let Some(strategy) = strategy {
             template = template.strategy(strategy);
         }
         self.backend = template.build_backend();
     }
 
     fn run_job(&mut self, job: &PoolJob, seed: u64) -> Result<PoolOutcome, ExecError> {
-        self.fresh_backend(job.strategy);
+        self.fresh_backend(job.strategy, job.policy.as_ref());
+        let recorder = job.trace.then(|| {
+            let recorder = TraceRecorder::shared();
+            self.backend
+                .sim_mut()
+                .attach_observer(recorder.clone() as SharedObserver);
+            recorder
+        });
         let exe = self.backend.prepare(&job.circuit)?;
         let outcome = self.backend.run(&exe)?;
         let counts = if job.shots > 0 {
@@ -610,12 +676,19 @@ impl Worker {
         let stats = outcome.stats.clone();
         let n_qubits = outcome.n_qubits();
         self.backend.release(outcome);
+        let trace = recorder.map(|recorder| {
+            recorder
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+        });
         Ok(PoolOutcome {
             name: job.circuit.name().to_string(),
             n_qubits,
             stats,
             final_size,
             counts,
+            trace,
             worker: self.id,
         })
     }
@@ -629,7 +702,7 @@ impl Worker {
         seed: u64,
     ) -> Result<HashMap<u64, usize>, ExecError> {
         if self.epoch.as_ref().map(|(e, _)| *e) != Some(epoch) {
-            self.fresh_backend(strategy);
+            self.fresh_backend(strategy, None);
             let exe = self.backend.prepare(circuit)?;
             let outcome = self.backend.run(&exe)?;
             self.epoch = Some((epoch, outcome));

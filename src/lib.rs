@@ -12,8 +12,10 @@
 //!   analysis, truncation, GC),
 //! * [`circuit`] — circuit IR, builders and benchmark generators,
 //! * [`statevector`] — the dense-array baseline simulator,
-//! * [`sim`] — the approximate simulator (memory-driven and
-//!   fidelity-driven strategies) and its [`sim::SimulatorBuilder`],
+//! * [`sim`] — the approximate simulator, its [`sim::SimulatorBuilder`],
+//!   and the composable [`sim::ApproxPolicy`] / [`sim::SimObserver`]
+//!   seam (memory-driven, fidelity-driven and budget policies ship
+//!   built in; custom policies plug into the same loop),
 //! * [`backend`] — the unified [`backend::Backend`] execution API over
 //!   both engines (prepare / run / batched runs / sampling / queries),
 //! * [`exec`] — the multi-threaded [`exec::BackendPool`]: batched runs
