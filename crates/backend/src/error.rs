@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use approxdd_circuit::noise::NoiseError;
 use approxdd_circuit::CircuitError;
 use approxdd_dd::DdError;
 use approxdd_sim::SimError;
@@ -21,6 +22,9 @@ pub enum ExecError {
     Dd(DdError),
     /// The circuit failed validation.
     Circuit(CircuitError),
+    /// A noise model failed validation (stochastic trajectory
+    /// execution; see `approxdd-noise`).
+    Noise(NoiseError),
     /// A basis-state query indexed outside the register.
     BasisOutOfRange {
         /// The requested basis index.
@@ -51,6 +55,7 @@ impl fmt::Display for ExecError {
             ExecError::State(e) => write!(f, "statevector error: {e}"),
             ExecError::Dd(e) => write!(f, "decision-diagram error: {e}"),
             ExecError::Circuit(e) => write!(f, "circuit error: {e}"),
+            ExecError::Noise(e) => write!(f, "noise model error: {e}"),
             ExecError::BasisOutOfRange { basis, n_qubits } => {
                 write!(f, "basis state {basis} outside a {n_qubits}-qubit register")
             }
@@ -71,6 +76,7 @@ impl Error for ExecError {
             ExecError::State(e) => Some(e),
             ExecError::Dd(e) => Some(e),
             ExecError::Circuit(e) => Some(e),
+            ExecError::Noise(e) => Some(e),
             ExecError::BasisOutOfRange { .. }
             | ExecError::Unsupported { .. }
             | ExecError::WorkerLost { .. } => None,
@@ -105,6 +111,12 @@ impl From<DdError> for ExecError {
 impl From<CircuitError> for ExecError {
     fn from(e: CircuitError) -> Self {
         ExecError::Circuit(e)
+    }
+}
+
+impl From<NoiseError> for ExecError {
+    fn from(e: NoiseError) -> Self {
+        ExecError::Noise(e)
     }
 }
 

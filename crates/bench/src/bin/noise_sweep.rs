@@ -1,0 +1,201 @@
+//! Noisy-trajectory sweep: error rate × approximation strategy ×
+//! trajectory budget, pooled.
+//!
+//! ```text
+//! noise_sweep [--smoke] [--json PATH] [--workers N]
+//!             [--trajectories N] [--shots N]
+//! ```
+//!
+//! Each row runs one `(circuit, rate, strategy)` cell through a
+//! [`NoisePool`] (global 1q+2q depolarizing at the given rate, plus
+//! amplitude damping on qubit 0 at a tenth of it) and reports the
+//! merged histogram's spread, the trajectory-fidelity mean/σ, inserted
+//! noise ops, and the outcome fingerprint (worker-count-invariant, so
+//! archived JSONs diff cleanly across machines).
+//!
+//! * `--smoke` caps the workload for CI (< 30 s), emits JSON (default
+//!   `noise_sweep.json`), and exits non-zero if any cell fails.
+//! * `--json PATH` writes the rows as JSON.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use approxdd_bench::json::Json;
+use approxdd_circuit::{generators, Circuit};
+use approxdd_noise::{NoiseChannel, NoiseModel, NoisePool, TrajectoryConfig, TrajectoryOutcome};
+use approxdd_sim::{Simulator, Strategy};
+
+struct Cell {
+    circuit: Circuit,
+    rate: f64,
+    policy: &'static str,
+    strategy: Option<Strategy>,
+}
+
+fn model_for(rate: f64) -> NoiseModel {
+    let mut model = NoiseModel::new();
+    if rate > 0.0 {
+        model = model
+            .with_global(NoiseChannel::depolarizing(rate).expect("rate"))
+            .with_global(NoiseChannel::depolarizing2(rate).expect("rate"))
+            .with_qubit(
+                0,
+                NoiseChannel::amplitude_damping(rate / 10.0).expect("rate"),
+            );
+    }
+    model
+}
+
+fn row_json(cell: &Cell, cfg: &TrajectoryConfig, outcome: &TrajectoryOutcome, secs: f64) -> Json {
+    Json::obj([
+        ("circuit", Json::str(cell.circuit.name())),
+        ("qubits", Json::int(outcome.n_qubits)),
+        ("channel", Json::str("depolarizing+amplitude_damping")),
+        ("rate", Json::Num(cell.rate)),
+        ("policy", Json::str(cell.policy)),
+        ("trajectories", Json::int(outcome.trajectories)),
+        ("shots", Json::int(cfg.shots_per_trajectory())),
+        ("fidelity_mean", Json::Num(outcome.fidelity_mean)),
+        ("fidelity_std", Json::Num(outcome.fidelity_std)),
+        ("noise_ops_total", Json::int(outcome.noise_ops_total)),
+        ("distinct_outcomes", Json::int(outcome.counts.len())),
+        (
+            "fingerprint",
+            Json::str(format!("{:016x}", outcome.fingerprint())),
+        ),
+        ("wall_seconds", Json::Num(secs)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path =
+        arg_value(&args, "--json").or_else(|| smoke.then(|| "noise_sweep.json".to_string()));
+    let workers: usize = arg_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 2 } else { 4 });
+    let trajectories: usize = arg_value(&args, "--trajectories")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 8 } else { 64 });
+    let shots: usize = arg_value(&args, "--shots")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 128 } else { 1024 });
+
+    let circuits: Vec<Circuit> = if smoke {
+        vec![generators::ghz(8), generators::supremacy(2, 3, 8, 1)]
+    } else {
+        vec![
+            generators::ghz(12),
+            generators::qft(10),
+            generators::supremacy(3, 3, 10, 1),
+            generators::supremacy(3, 4, 12, 2),
+        ]
+    };
+    let rates: &[f64] = if smoke {
+        &[0.0, 0.02]
+    } else {
+        &[0.0, 0.005, 0.01, 0.05]
+    };
+    let strategies: [(&'static str, Option<Strategy>); 2] = [
+        ("exact", None),
+        (
+            "memory-driven",
+            Some(Strategy::memory_driven_table1(1 << 4, 0.97)),
+        ),
+    ];
+
+    let mut cells = Vec::new();
+    for circuit in &circuits {
+        for &rate in rates {
+            for (policy, strategy) in &strategies {
+                cells.push(Cell {
+                    circuit: circuit.clone(),
+                    rate,
+                    policy,
+                    strategy: *strategy,
+                });
+            }
+        }
+    }
+
+    println!(
+        "{:<16} {:>7} {:>14} {:>6} {:>10} {:>10} {:>9} {:>9}",
+        "circuit", "rate", "policy", "traj", "fid_mean", "fid_std", "noise_ops", "outcomes"
+    );
+    let start = Instant::now();
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    for cell in &cells {
+        let pool = NoisePool::with_model(
+            Simulator::builder().seed(17).workers(workers),
+            model_for(cell.rate),
+        );
+        let mut cfg = TrajectoryConfig::new(trajectories).shots(shots);
+        if let Some(strategy) = cell.strategy {
+            cfg = cfg.strategy(strategy);
+        }
+        let cell_start = Instant::now();
+        match pool.run_trajectories(&cell.circuit, &cfg) {
+            Ok(outcome) => {
+                println!(
+                    "{:<16} {:>7.3} {:>14} {:>6} {:>10.5} {:>10.5} {:>9} {:>9}",
+                    outcome.name,
+                    cell.rate,
+                    cell.policy,
+                    outcome.trajectories,
+                    outcome.fidelity_mean,
+                    outcome.fidelity_std,
+                    outcome.noise_ops_total,
+                    outcome.counts.len()
+                );
+                rows.push(row_json(
+                    cell,
+                    &cfg,
+                    &outcome,
+                    cell_start.elapsed().as_secs_f64(),
+                ));
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!(
+                    "  FAILED {} rate={} policy={}: {e}",
+                    cell.circuit.name(),
+                    cell.rate,
+                    cell.policy
+                );
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let report = Json::obj([
+            ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+            ("workers", Json::int(workers)),
+            ("trajectories", Json::int(trajectories)),
+            ("shots", Json::int(shots)),
+            ("wall_seconds", Json::Num(start.elapsed().as_secs_f64())),
+            ("failures", Json::int(failures)),
+            ("rows", Json::Arr(rows)),
+        ]);
+        match std::fs::write(&path, report.to_string()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAILED writing {path}: {e}");
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("sweep had {failures} failure(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}

@@ -29,6 +29,7 @@ mod gate;
 mod op;
 
 pub mod generators;
+pub mod noise;
 pub mod qasm;
 
 pub use circuit::{Circuit, CircuitError, CircuitStats};

@@ -27,8 +27,12 @@ pub enum QasmError {
     },
     /// The importer met malformed input.
     Parse {
-        /// Line number (1-based).
+        /// Line number (1-based; 0 when the whole input is at fault,
+        /// e.g. a missing `qreg`).
         line: usize,
+        /// Column of the offending statement within the line (1-based
+        /// byte offset; 0 when no statement is at fault).
+        column: usize,
         /// Reason.
         reason: String,
     },
@@ -40,7 +44,11 @@ impl fmt::Display for QasmError {
             QasmError::Unsupported { what } => {
                 write!(f, "operation not representable in OpenQASM 2: {what}")
             }
-            QasmError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            QasmError::Parse {
+                line,
+                column,
+                reason,
+            } => write!(f, "parse error at line {line}, column {column}: {reason}"),
         }
     }
 }
@@ -156,20 +164,27 @@ pub fn from_qasm(src: &str) -> Result<Circuit, QasmError> {
             }
             continue;
         }
-        let text = text.split("//").next().unwrap_or("").trim();
-        if text.is_empty() {
+        let text = text.split("//").next().unwrap_or("").trim_end();
+        if text.trim().is_empty() {
             continue;
         }
+        // Track each statement's byte offset within the raw line so
+        // parse errors point at the statement, not just the line.
+        let mut offset = raw.len() - raw.trim_start().len();
         for stmt in text.split(';') {
-            let stmt = stmt.trim();
-            if stmt.is_empty() {
+            let leading = stmt.len() - stmt.trim_start().len();
+            let column = offset + leading + 1;
+            let trimmed = stmt.trim();
+            offset += stmt.len() + 1; // consumed statement + ';'
+            if trimmed.is_empty() {
                 continue;
             }
-            parse_statement(stmt, line, &mut circuit)?;
+            parse_statement(trimmed, line, column, &mut circuit)?;
         }
     }
     circuit.ok_or(QasmError::Parse {
         line: 0,
+        column: 0,
         reason: "no qreg declaration found".to_string(),
     })
 }
@@ -177,10 +192,12 @@ pub fn from_qasm(src: &str) -> Result<Circuit, QasmError> {
 fn parse_statement(
     stmt: &str,
     line: usize,
+    column: usize,
     circuit: &mut Option<Circuit>,
 ) -> Result<(), QasmError> {
     let err = |reason: &str| QasmError::Parse {
         line,
+        column,
         reason: reason.to_string(),
     };
     if stmt.starts_with("OPENQASM") || stmt.starts_with("include") || stmt.starts_with("creg") {
@@ -366,7 +383,45 @@ measure q[0] -> m[0];
     fn import_errors_carry_line_numbers() {
         let src = "OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n";
         match from_qasm(src) {
-            Err(QasmError::Parse { line, .. }) => assert_eq!(line, 3),
+            Err(QasmError::Parse { line, column, .. }) => {
+                assert_eq!(line, 3);
+                assert_eq!(column, 1);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn import_errors_carry_column_context() {
+        // The offending statement is the second on its line, behind
+        // leading indentation: the column must point at it, and the
+        // rendered message must carry both coordinates so a `simulate`
+        // user can act on it.
+        let src = "OPENQASM 2.0;\nqreg q[2];\n  h q[0]; frobnicate q[1];\n";
+        let err = from_qasm(src).expect_err("must fail");
+        match &err {
+            QasmError::Parse {
+                line,
+                column,
+                reason,
+            } => {
+                assert_eq!(*line, 3);
+                assert_eq!(*column, 11, "column of `frobnicate`");
+                assert!(reason.contains("frobnicate"), "{reason}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let message = err.to_string();
+        assert!(
+            message.contains("line 3") && message.contains("column 11"),
+            "{message}"
+        );
+        // A bad angle mid-statement still reports the statement start.
+        let src = "qreg q[1];\nrx(oops) q[0];\n";
+        match from_qasm(src) {
+            Err(QasmError::Parse { line, column, .. }) => {
+                assert_eq!((line, column), (2, 1));
+            }
             other => panic!("expected parse error, got {other:?}"),
         }
     }

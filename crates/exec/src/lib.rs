@@ -44,8 +44,11 @@
 mod pool;
 mod seed;
 
-pub use pool::{BackendPool, BuildPool, PoolJob, PoolOutcome, PoolStats, WorkerStats, SHOT_CHUNK};
-pub use seed::{splitmix64, SeedStream, DOMAIN_RUN, DOMAIN_SAMPLE};
+pub use pool::{
+    BackendPool, BuildPool, PoolJob, PoolOutcome, PoolStats, SharedDiagonal, WorkerStats,
+    SHOT_CHUNK,
+};
+pub use seed::{splitmix64, SeedStream, DOMAIN_NOISE, DOMAIN_RUN, DOMAIN_SAMPLE};
 
 #[cfg(test)]
 mod tests {
@@ -171,5 +174,83 @@ mod tests {
             .sample_counts(&generators::ghz(3), 0)
             .expect("zero shots")
             .is_empty());
+    }
+
+    /// Sharded sampling around the 2048-shot chunk boundary: zero
+    /// shots, a sub-chunk budget, exactly one chunk, and exact
+    /// multiples must all merge to the full budget with histograms that
+    /// are invariant under worker count (chunk seeds are keyed on the
+    /// chunk index alone, so the decomposition — not the scheduling —
+    /// determines every draw).
+    #[test]
+    fn sharded_sampling_chunk_boundaries_are_worker_invariant() {
+        let circuit = generators::ghz(5);
+        for shots in [
+            0,
+            1,
+            SHOT_CHUNK - 1,
+            SHOT_CHUNK,
+            SHOT_CHUNK + 1,
+            2 * SHOT_CHUNK,
+        ] {
+            let counts_for = |workers: usize| {
+                let pool = Simulator::builder().workers(workers).seed(21).build_pool();
+                pool.sample_counts(&circuit, shots).expect("counts")
+            };
+            let one = counts_for(1);
+            assert_eq!(one.values().sum::<usize>(), shots, "shots {shots}");
+            for workers in [2, 8] {
+                assert_eq!(
+                    counts_for(workers),
+                    one,
+                    "{workers}-worker counts diverge at shots = {shots}"
+                );
+            }
+            if shots > 0 {
+                // GHZ: only the two branch outcomes ever occur.
+                assert!(one.keys().all(|&k| k == 0 || k == 0x1F), "{one:?}");
+            }
+        }
+    }
+
+    /// Repeating the same sampling request on one pool must reproduce
+    /// the histogram exactly: the epoch only invalidates cached run
+    /// state, never the chunk seed derivation.
+    #[test]
+    fn repeated_sampling_requests_are_reproducible() {
+        let pool = Simulator::builder().workers(3).seed(4).build_pool();
+        let circuit = generators::w_state(6);
+        let shots = SHOT_CHUNK + 7;
+        let first = pool.sample_counts(&circuit, shots).expect("first");
+        let second = pool.sample_counts(&circuit, shots).expect("second");
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn per_job_expectation_is_computed_worker_side() {
+        use std::sync::Arc;
+        let circuit = generators::w_state(5);
+        let ones: crate::SharedDiagonal = Arc::new(|i: u64| f64::from(i.count_ones()));
+        let run = |workers: usize| {
+            let pool = Simulator::builder().workers(workers).seed(9).build_pool();
+            let jobs = vec![
+                PoolJob::new(circuit.clone()).expectation(Arc::clone(&ones)),
+                PoolJob::new(circuit.clone()),
+            ];
+            let results = pool.run_jobs(jobs);
+            (
+                results[0].as_ref().expect("job 0").clone(),
+                results[1].as_ref().expect("job 1").clone(),
+            )
+        };
+        let (with, without) = run(1);
+        // W state: exactly one excited qubit.
+        assert!((with.expectation.expect("requested") - 1.0).abs() < 1e-9);
+        assert_eq!(without.expectation, None);
+        // The observable value participates in the fingerprint and is
+        // worker-count-invariant like every other result field.
+        assert_ne!(with.fingerprint(), without.fingerprint());
+        let (with8, _) = run(8);
+        assert_eq!(with.fingerprint(), with8.fingerprint());
     }
 }

@@ -41,6 +41,10 @@ use approxdd_sim::{
 
 use crate::seed::{SeedStream, DOMAIN_RUN, DOMAIN_SAMPLE};
 
+/// A diagonal observable `Σ f(i) |i⟩⟨i|` evaluated worker-side on a
+/// job's final state (shared so heterogeneous job lists clone cheaply).
+pub type SharedDiagonal = Arc<dyn Fn(u64) -> f64 + Send + Sync>;
+
 /// Shots per sharded-sampling chunk. Fixed (never derived from the
 /// worker count) so the chunk decomposition — and with it every chunk
 /// seed — is identical no matter how many workers drain the queue.
@@ -57,6 +61,7 @@ pub struct PoolJob {
     policy: Option<Arc<dyn PolicyFactory>>,
     shots: usize,
     trace: bool,
+    expectation: Option<SharedDiagonal>,
 }
 
 impl std::fmt::Debug for PoolJob {
@@ -67,6 +72,7 @@ impl std::fmt::Debug for PoolJob {
             .field("policy", &self.policy.is_some())
             .field("shots", &self.shots)
             .field("trace", &self.trace)
+            .field("expectation", &self.expectation.is_some())
             .finish()
     }
 }
@@ -81,6 +87,7 @@ impl PoolJob {
             policy: None,
             shots: 0,
             trace: false,
+            expectation: None,
         }
     }
 
@@ -121,6 +128,19 @@ impl PoolJob {
         self
     }
 
+    /// Evaluates the diagonal observable `Σ f(i) |i⟩⟨i|` on the job's
+    /// final state, worker-side, into [`PoolOutcome::expectation`].
+    /// The value is computed on the **raw** (possibly unnormalized)
+    /// state — exactly `Σᵢ |aᵢ|² f(i)` — which is what the stochastic
+    /// noise-trajectory estimator needs (amplitude-damping trajectories
+    /// carry their importance weight in the state norm). Shares the
+    /// engine's dense-amplitude width limits.
+    #[must_use]
+    pub fn expectation(mut self, f: SharedDiagonal) -> Self {
+        self.expectation = Some(f);
+        self
+    }
+
     /// The job's circuit.
     #[must_use]
     pub fn circuit(&self) -> &Circuit {
@@ -146,6 +166,9 @@ pub struct PoolOutcome {
     pub final_size: usize,
     /// Measurement histogram when the job requested shots.
     pub counts: Option<HashMap<u64, usize>>,
+    /// Worker-side diagonal-observable value when the job requested one
+    /// ([`PoolJob::expectation`]).
+    pub expectation: Option<f64>,
     /// The run's trace when the job requested it ([`PoolJob::trace`]).
     pub trace: Option<Vec<TraceEvent>>,
     /// Index of the worker that executed the job (diagnostic only —
@@ -179,6 +202,9 @@ impl PoolOutcome {
             let mut entries: Vec<(u64, usize)> = counts.iter().map(|(k, v)| (*k, *v)).collect();
             entries.sort_unstable();
             entries.hash(&mut h);
+        }
+        if let Some(expectation) = self.expectation {
+            expectation.to_bits().hash(&mut h);
         }
         h.finish()
     }
@@ -672,10 +698,19 @@ impl Worker {
         } else {
             None
         };
+        // Capture the (fallible) observable value but release the
+        // outcome before propagating any error: an early return here
+        // would otherwise pin the run's GC roots until this worker's
+        // next job rebuilds its backend.
+        let expectation = job
+            .expectation
+            .as_ref()
+            .map(|f| self.backend.expectation(&outcome, &**f));
         let final_size = self.backend.sim().package().vsize(outcome.handle().state());
         let stats = outcome.stats.clone();
         let n_qubits = outcome.n_qubits();
         self.backend.release(outcome);
+        let expectation = expectation.transpose()?;
         let trace = recorder.map(|recorder| {
             recorder
                 .lock()
@@ -688,6 +723,7 @@ impl Worker {
             stats,
             final_size,
             counts,
+            expectation,
             trace,
             worker: self.id,
         })

@@ -33,6 +33,12 @@ pub struct SeedStream {
 pub const DOMAIN_RUN: u64 = 0x1;
 /// Seed domain of sharded `sample_counts` shot chunks.
 pub const DOMAIN_SAMPLE: u64 = 0x2;
+/// Seed domain of stochastic noise-trajectory sampling (the
+/// `approxdd-noise` crate derives trajectory `t`'s channel-selection
+/// RNG from `seed(DOMAIN_NOISE, t)` at submission time, so inserted
+/// noise ops are a pure function of the trajectory index — never of
+/// worker count or scheduling).
+pub const DOMAIN_NOISE: u64 = 0x3;
 
 impl SeedStream {
     /// A stream rooted at `root` (a pool's builder seed).
@@ -91,12 +97,81 @@ mod tests {
     fn seeds_have_no_trivial_collisions() {
         let s = SeedStream::new(0);
         let mut seen = std::collections::HashSet::new();
-        for domain in [DOMAIN_RUN, DOMAIN_SAMPLE] {
+        for domain in [DOMAIN_RUN, DOMAIN_SAMPLE, DOMAIN_NOISE] {
             for index in 0..4096 {
                 assert!(
                     seen.insert(s.seed(domain, index)),
                     "collision at {domain}/{index}"
                 );
+            }
+        }
+    }
+
+    /// Golden values pin the existing streams: adding the noise domain
+    /// (or any future refactor of the mixing) must not move a single
+    /// seed of `DOMAIN_RUN`/`DOMAIN_SAMPLE`, or every archived
+    /// `run_batch`/`sample_counts` fingerprint would silently change.
+    /// The noise stream is pinned alongside them so trajectory results
+    /// stay reproducible across releases too.
+    #[test]
+    fn existing_streams_are_frozen() {
+        let s = SeedStream::new(42);
+        for (domain, index, want) in [
+            (DOMAIN_RUN, 0, 0x93BE_8420_BB55_B94C),
+            (DOMAIN_RUN, 1, 0x56F8_06FA_1C91_F122),
+            (DOMAIN_RUN, 7, 0x1B18_6314_9F17_26FA),
+            (DOMAIN_SAMPLE, 0, 0x0684_A9E5_6565_7C2E),
+            (DOMAIN_SAMPLE, 1, 0xCB3F_6068_39EE_90D6),
+            (DOMAIN_SAMPLE, 7, 0xEF5E_260B_C49C_3C6F),
+            (DOMAIN_NOISE, 0, 0x2CE0_2C4E_E4D2_EA09),
+            (DOMAIN_NOISE, 1, 0x5D39_6F90_8F79_BB0B),
+            (DOMAIN_NOISE, 7, 0xAB2F_9774_6E2E_A953),
+        ] {
+            assert_eq!(
+                s.seed(domain, index),
+                want,
+                "domain {domain:#x} index {index}"
+            );
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Domain separation: over a sampled window, streams for
+            // distinct (domain, job index) pairs share no 64-bit
+            // outputs — the PR 2 determinism contract extended to the
+            // noise domain.
+            #[test]
+            fn distinct_domain_index_pairs_share_no_outputs(root in any::<u64>()) {
+                let s = SeedStream::new(root);
+                let mut seen = std::collections::HashMap::new();
+                for domain in [DOMAIN_RUN, DOMAIN_SAMPLE, DOMAIN_NOISE] {
+                    for index in 0..512u64 {
+                        let seed = s.seed(domain, index);
+                        if let Some(prev) = seen.insert(seed, (domain, index)) {
+                            prop_assert!(
+                                false,
+                                "seed {seed:#x} shared by {prev:?} and {:?}",
+                                (domain, index)
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Neighbouring roots never collide within a window either
+            // (pools with adjacent builder seeds stay independent).
+            #[test]
+            fn adjacent_roots_stay_separated(root in any::<u64>()) {
+                let a = SeedStream::new(root);
+                let b = SeedStream::new(root.wrapping_add(1));
+                for index in 0..256u64 {
+                    let (x, y) = (a.seed(DOMAIN_NOISE, index), b.seed(DOMAIN_NOISE, index));
+                    prop_assert!(x != y, "roots {root} and +1 collide at index {index}");
+                }
             }
         }
     }

@@ -17,7 +17,10 @@
 //! assert!((s.probability(0b111) - 0.5).abs() < 1e-12);
 //! ```
 
+pub mod density;
 pub mod xeb;
+
+pub use density::{DensityMatrix, KrausOperator, MAX_DENSITY_QUBITS};
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -136,6 +139,13 @@ impl State {
     #[must_use]
     pub fn amplitudes(&self) -> &[Cplx] {
         &self.amps
+    }
+
+    /// Consumes the state, returning its amplitude vector (the
+    /// allocation-reuse path of the density-matrix column kernels).
+    #[must_use]
+    pub fn into_amplitudes(self) -> Vec<Cplx> {
+        self.amps
     }
 
     /// Born-rule probability of basis state `idx`.

@@ -1,0 +1,122 @@
+//! Stochastic noisy simulation end-to-end: build a NISQ-style noise
+//! model, fan Monte-Carlo trajectories across the pool, and validate
+//! the trajectory statistics against the exact density-matrix baseline
+//! — with the determinism contract demonstrated by re-running the same
+//! experiment on a different worker count.
+//!
+//! ```text
+//! cargo run --release --example noisy_sampling [workers]
+//! ```
+
+use std::sync::Arc;
+
+use approxdd::circuit::generators;
+use approxdd::exec::SharedDiagonal;
+use approxdd::noise::{exact, BuildNoisePool, NoiseChannel, NoiseModel, TrajectoryConfig};
+use approxdd::sim::{Simulator, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    // A NISQ-style model: uniform depolarizing noise after every
+    // operation, two-qubit depolarizing on entangling ops, and extra
+    // amplitude damping on qubit 0.
+    let model = NoiseModel::new()
+        .with_global(NoiseChannel::depolarizing(0.01)?)
+        .with_global(NoiseChannel::depolarizing2(0.02)?)
+        .with_qubit(0, NoiseChannel::amplitude_damping(0.03)?);
+
+    let circuit = generators::ghz(6);
+    let pool = Simulator::builder()
+        .noise(model.clone())
+        .seed(7)
+        .workers(workers)
+        .build_noise_pool();
+    println!(
+        "pool: {} workers, root seed {}, {} channels attached",
+        pool.workers(),
+        pool.root_seed(),
+        pool.model().channel_count()
+    );
+
+    // 1. Trajectories with measurement shots and a diagonal observable
+    //    (the number of excited qubits).
+    let excited: SharedDiagonal = Arc::new(|i: u64| f64::from(i.count_ones()));
+    let cfg = TrajectoryConfig::new(200)
+        .shots(100)
+        .observable(Arc::clone(&excited));
+    let outcome = pool.run_trajectories(&circuit, &cfg)?;
+    println!(
+        "\n{} trajectories ({} noise ops inserted), {} shots total",
+        outcome.trajectories,
+        outcome.noise_ops_total,
+        outcome.counts.values().sum::<usize>()
+    );
+    println!(
+        "measured fidelity  : {:.4} ± {:.4}",
+        outcome.fidelity_mean, outcome.fidelity_std
+    );
+
+    // 2. Validate the trajectory mean against the exact density/Kraus
+    //    baseline (n = 6 is comfortably inside the dense window).
+    let mean = outcome.observable_mean.expect("observable requested");
+    let stderr = outcome.observable_standard_error().expect("σ/√T");
+    let exact_value = exact::exact_expectation(&circuit, &model, &|i| f64::from(i.count_ones()))?;
+    println!(
+        "⟨excited qubits⟩   : trajectories {mean:.4} ± {stderr:.4}  |  exact density {exact_value:.4}"
+    );
+    assert!(
+        (mean - exact_value).abs() <= 4.0 * stderr + 1e-9,
+        "trajectory mean must match the exact baseline"
+    );
+
+    // The noisy histogram leaks outside the two ideal GHZ branches.
+    let ghz_mass: usize = outcome
+        .counts
+        .iter()
+        .filter(|(k, _)| **k == 0 || **k == 0x3F)
+        .map(|(_, v)| *v)
+        .sum();
+    let total: usize = outcome.counts.values().sum();
+    #[allow(clippy::cast_precision_loss)]
+    let leak = 1.0 - ghz_mass as f64 / total as f64;
+    println!(
+        "histogram leakage  : {:.2}% outside the GHZ branches",
+        leak * 100.0
+    );
+
+    // 3. Determinism: the same experiment on a different worker count
+    //    is byte-identical.
+    let replica = Simulator::builder()
+        .noise(model.clone())
+        .seed(7)
+        .workers(workers.saturating_sub(2).max(1))
+        .build_noise_pool();
+    let again = replica.run_trajectories(&circuit, &cfg)?;
+    assert_eq!(outcome.fingerprint(), again.fingerprint());
+    println!(
+        "fingerprint        : {:016x} (identical on {} and {} workers)",
+        outcome.fingerprint(),
+        pool.workers(),
+        replica.workers()
+    );
+
+    // 4. Noise composes with the paper's approximation policies: run
+    //    the same trajectories under a memory-driven truncation budget.
+    let approx_cfg = TrajectoryConfig::new(32)
+        .shots(100)
+        .strategy(Strategy::memory_driven_table1(1 << 4, 0.97));
+    let noisy_approx = pool.run_trajectories(&generators::supremacy(2, 3, 10, 1), &approx_cfg)?;
+    println!(
+        "noisy + approx     : fidelity {:.4} ± {:.4} over {} trajectories ({} distinct outcomes)",
+        noisy_approx.fidelity_mean,
+        noisy_approx.fidelity_std,
+        noisy_approx.trajectories,
+        noisy_approx.counts.len()
+    );
+
+    Ok(())
+}

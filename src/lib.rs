@@ -21,6 +21,10 @@
 //! * [`exec`] — the multi-threaded [`exec::BackendPool`]: batched runs
 //!   and sharded sampling across worker threads, deterministic under
 //!   any worker count,
+//! * [`noise`] — stochastic noise-trajectory simulation: Kraus
+//!   channels ([`circuit::noise`]), a pooled Monte-Carlo trajectory
+//!   driver ([`noise::NoisePool`]), and an exact density-matrix
+//!   baseline for validation,
 //! * [`shor`] — Shor's algorithm end-to-end.
 //!
 //! # Quickstart
@@ -68,6 +72,7 @@ pub use approxdd_circuit as circuit;
 pub use approxdd_complex as complex;
 pub use approxdd_dd as dd;
 pub use approxdd_exec as exec;
+pub use approxdd_noise as noise;
 pub use approxdd_shor as shor;
 pub use approxdd_sim as sim;
 pub use approxdd_statevector as statevector;

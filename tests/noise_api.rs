@@ -1,0 +1,212 @@
+//! Contract suite of the stochastic noise-trajectory subsystem:
+//!
+//! * determinism — [`TrajectoryOutcome::fingerprint`] is byte-identical
+//!   across 1/2/8 workers for the same `(seed, model, circuit)`, and
+//!   trajectory work does not perturb the existing
+//!   `run_batch`/`sample_counts` fingerprints (the PR 2 determinism
+//!   contract, extended to the noise seed domain);
+//! * statistical correctness — for n ≤ 6 the trajectory-mean
+//!   observable agrees with the exact density/Kraus baseline within a
+//!   stated tolerance of `4·σ/√T + ε`, and sampled histograms of Pauli
+//!   models converge to the exact diagonal in total variation;
+//! * composition — trajectories run under the paper's approximation
+//!   strategies report sub-unit measured fidelities with the mean/σ
+//!   aggregated per run.
+
+use std::sync::Arc;
+
+use approxdd::circuit::generators;
+use approxdd::circuit::Circuit;
+use approxdd::exec::{BuildPool, SharedDiagonal};
+use approxdd::noise::{
+    exact, BuildNoisePool, NoiseChannel, NoiseModel, NoisePool, TrajectoryConfig, TrajectoryOutcome,
+};
+use approxdd::sim::{Simulator, Strategy};
+
+fn nisq_model() -> NoiseModel {
+    NoiseModel::new()
+        .with_global(NoiseChannel::depolarizing(0.02).unwrap())
+        .with_global(NoiseChannel::depolarizing2(0.03).unwrap())
+        .with_qubit(0, NoiseChannel::amplitude_damping(0.05).unwrap())
+}
+
+fn pool_with(workers: usize, model: &NoiseModel, seed: u64) -> NoisePool {
+    Simulator::builder()
+        .noise(model.clone())
+        .seed(seed)
+        .workers(workers)
+        .build_noise_pool()
+}
+
+fn run_with(workers: usize, circuit: &Circuit, cfg: &TrajectoryConfig) -> TrajectoryOutcome {
+    pool_with(workers, &nisq_model(), 42)
+        .run_trajectories(circuit, cfg)
+        .expect("trajectories")
+}
+
+/// The acceptance-criteria determinism assertion: same (seed, model,
+/// circuit) ⇒ same fingerprint on 1, 2 and 8 workers.
+#[test]
+fn trajectory_fingerprints_are_worker_count_invariant() {
+    let circuit = generators::supremacy(2, 3, 8, 2);
+    let ones: SharedDiagonal = Arc::new(|i: u64| f64::from(i.count_ones()));
+    let cfg = TrajectoryConfig::new(10).shots(300).observable(ones);
+    let one = run_with(1, &circuit, &cfg);
+    let two = run_with(2, &circuit, &cfg);
+    let eight = run_with(8, &circuit, &cfg);
+    assert!(one.noise_ops_total > 0, "workload must actually be noisy");
+    assert_eq!(one.fingerprint(), two.fingerprint(), "1 vs 2 workers");
+    assert_eq!(one.fingerprint(), eight.fingerprint(), "1 vs 8 workers");
+    // Outcome aggregates agree field-for-field, not just by hash.
+    assert_eq!(one.counts, eight.counts);
+    assert_eq!(
+        one.fidelity_mean.to_bits(),
+        eight.fidelity_mean.to_bits(),
+        "bit-identical fidelity aggregation"
+    );
+    assert_eq!(one.observable_mean, eight.observable_mean);
+    // A different root seed samples different trajectories.
+    let other = pool_with(2, &nisq_model(), 43)
+        .run_trajectories(&circuit, &cfg)
+        .expect("trajectories");
+    assert_ne!(one.fingerprint(), other.fingerprint());
+}
+
+/// The acceptance-criteria statistical assertion: for n ≤ 6 the
+/// trajectory mean of a diagonal observable matches the exact
+/// density/Kraus baseline within 4 standard errors (plus a small
+/// absolute floor for the σ→0 edge).
+#[test]
+fn trajectory_mean_matches_exact_density_baseline() {
+    let circuit = generators::ghz(5);
+    let observable: SharedDiagonal = Arc::new(|i: u64| f64::from(i.count_ones()));
+    let trajectories = 300;
+    for model in [
+        NoiseModel::new().with_global(NoiseChannel::bit_flip(0.1).unwrap()),
+        NoiseModel::new().with_global(NoiseChannel::phase_flip(0.15).unwrap()),
+        NoiseModel::depolarizing(0.05).unwrap(),
+        NoiseModel::new().with_global(NoiseChannel::amplitude_damping(0.1).unwrap()),
+        // γ = 1 regression: the nonzero K₀ = diag(1, 0) must survive
+        // branch filtering or the ground state is annihilated.
+        NoiseModel::new().with_global(NoiseChannel::amplitude_damping(1.0).unwrap()),
+        nisq_model(),
+    ] {
+        let exact_value =
+            exact::exact_expectation(&circuit, &model, &|i| f64::from(i.count_ones()))
+                .expect("exact baseline");
+        let outcome = pool_with(4, &model, 7)
+            .run_trajectories(
+                &circuit,
+                &TrajectoryConfig::new(trajectories).observable(Arc::clone(&observable)),
+            )
+            .expect("trajectories");
+        let mean = outcome.observable_mean.expect("observable requested");
+        let stderr = outcome.observable_standard_error().expect("σ/√T");
+        let tolerance = 4.0 * stderr + 1e-9;
+        assert!(
+            (mean - exact_value).abs() <= tolerance,
+            "model {model:?}: trajectory mean {mean} vs exact {exact_value} (tolerance {tolerance})"
+        );
+    }
+}
+
+/// Sampled histograms of a Pauli-only model converge to the exact
+/// noisy diagonal (Pauli trajectories are normalized, so counts are an
+/// exact mixture sample — total variation shrinks with the budget).
+#[test]
+fn pauli_model_histograms_converge_to_exact_diagonal() {
+    let circuit = generators::ghz(4);
+    let model = NoiseModel::new()
+        .with_global(NoiseChannel::depolarizing(0.04).unwrap())
+        .with_global(NoiseChannel::depolarizing2(0.04).unwrap());
+    let diag = exact::exact_diagonal(&circuit, &model).expect("exact");
+    let outcome = pool_with(4, &model, 12)
+        .run_trajectories(&circuit, &TrajectoryConfig::new(400).shots(100))
+        .expect("trajectories");
+    let tv = exact::total_variation(&outcome.counts, &diag);
+    assert!(tv < 0.05, "total variation {tv}");
+}
+
+/// Noisy trajectories compose with the paper's approximation policies:
+/// per-trajectory measured fidelity drops below 1 and the outcome
+/// aggregates its mean and spread.
+#[test]
+fn trajectories_compose_with_approximation_strategies() {
+    let circuit = generators::supremacy(2, 3, 12, 1);
+    let model = NoiseModel::new().with_global(NoiseChannel::depolarizing(0.01).unwrap());
+    let cfg = TrajectoryConfig::new(6)
+        .shots(64)
+        .strategy(Strategy::memory_driven_table1(1 << 4, 0.97));
+    let outcome = pool_with(2, &model, 9)
+        .run_trajectories(&circuit, &cfg)
+        .expect("trajectories");
+    assert!(
+        outcome.fidelity_mean < 1.0,
+        "approximation must fire: mean {}",
+        outcome.fidelity_mean
+    );
+    assert!(outcome.records.iter().all(|r| r.fidelity <= 1.0));
+    assert!(outcome.records.iter().any(|r| r.stats.approx_rounds > 0));
+    // And the fingerprint contract holds under approximation too.
+    let again = pool_with(8, &model, 9)
+        .run_trajectories(&circuit, &cfg)
+        .expect("trajectories");
+    assert_eq!(outcome.fingerprint(), again.fingerprint());
+}
+
+/// The satellite guard: introducing the noise seed domain (and running
+/// noise work on a pool) leaves the existing `run_batch` /
+/// `sample_counts` streams untouched — batch fingerprints and sampled
+/// histograms are identical whether or not trajectory work happened.
+#[test]
+fn noise_domain_does_not_perturb_existing_pool_fingerprints() {
+    let circuits: Vec<Circuit> = (0..4).map(|s| generators::supremacy(2, 3, 8, s)).collect();
+    let sample_target = generators::ghz(6);
+
+    // Reference: a plain pool, no noise work at all.
+    let plain = Simulator::builder().seed(77).workers(2).build_pool();
+    let plain_fps: Vec<u64> = plain
+        .run_batch(&circuits)
+        .expect("batch")
+        .iter()
+        .map(approxdd::exec::PoolOutcome::fingerprint)
+        .collect();
+    let plain_counts = plain.sample_counts(&sample_target, 5000).expect("counts");
+
+    // Same seed, but trajectory work runs first on the same pool.
+    let noisy = pool_with(2, &nisq_model(), 77);
+    noisy
+        .run_trajectories(&generators::ghz(5), &TrajectoryConfig::new(5).shots(100))
+        .expect("trajectories");
+    let mixed_fps: Vec<u64> = noisy
+        .pool()
+        .run_batch(&circuits)
+        .expect("batch")
+        .iter()
+        .map(approxdd::exec::PoolOutcome::fingerprint)
+        .collect();
+    let mixed_counts = noisy
+        .pool()
+        .sample_counts(&sample_target, 5000)
+        .expect("counts");
+
+    assert_eq!(plain_fps, mixed_fps, "run_batch fingerprints perturbed");
+    assert_eq!(plain_counts, mixed_counts, "sample_counts perturbed");
+}
+
+/// Zero-trajectory and zero-shot requests degrade gracefully.
+#[test]
+fn degenerate_configs_are_well_defined() {
+    let pool = pool_with(2, &nisq_model(), 1);
+    let empty = pool
+        .run_trajectories(&generators::ghz(3), &TrajectoryConfig::new(0))
+        .expect("empty");
+    assert_eq!(empty.trajectories, 0);
+    assert!(empty.counts.is_empty());
+    assert_eq!(empty.fidelity_mean, 0.0);
+    let shotless = pool
+        .run_trajectories(&generators::ghz(3), &TrajectoryConfig::new(3))
+        .expect("no shots");
+    assert!(shotless.counts.is_empty());
+    assert_eq!(shotless.records.len(), 3);
+}
