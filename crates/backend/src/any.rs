@@ -1,0 +1,193 @@
+//! Engine-polymorphic backend for pooled execution.
+
+use std::collections::HashMap;
+
+use approxdd_circuit::Circuit;
+use approxdd_complex::Cplx;
+use approxdd_dd::PackageStats;
+use approxdd_sim::{RunResult, SharedObserver};
+use approxdd_stabilizer::Tableau;
+
+use crate::hybrid::HybridHandle;
+use crate::{Backend, DdBackend, Executable, HybridBackend, Result, RunOutcome, StabilizerBackend};
+
+/// A [`Backend`] that is one of the three engines, selected at build
+/// time by `SimulatorBuilder::engine` — the concrete type pooled
+/// workers hold, so one pool implementation serves every engine.
+///
+/// Built by [`crate::BuildBackend::build_engine_backend`].
+#[derive(Debug)]
+pub enum AnyBackend {
+    /// The decision-diagram engine.
+    Dd(DdBackend),
+    /// The stabilizer tableau (Clifford circuits only).
+    Stabilizer(StabilizerBackend),
+    /// Clifford-prefix dispatch over both.
+    Hybrid(HybridBackend),
+}
+
+/// The run handle of an [`AnyBackend`], mirroring its engine.
+#[derive(Debug)]
+pub enum AnyHandle {
+    /// DD run result.
+    Dd(Box<RunResult>),
+    /// Final tableau of a stabilizer run.
+    Stabilizer(Tableau),
+    /// Hybrid outcome (tableau or DD).
+    Hybrid(HybridHandle),
+}
+
+/// A handle from a different engine reached this backend — outcomes
+/// are only valid on the backend that produced them.
+const MISMATCH: &str = "RunOutcome used with a different engine than produced it";
+
+impl AnyBackend {
+    /// DD-package counters, when this engine owns a package
+    /// (`None` for the pure-tableau engine).
+    #[must_use]
+    pub fn package_stats(&self) -> Option<PackageStats> {
+        match self {
+            AnyBackend::Dd(b) => Some(b.sim().package().stats()),
+            AnyBackend::Hybrid(b) => Some(b.sim().package().stats()),
+            AnyBackend::Stabilizer(_) => None,
+        }
+    }
+
+    /// Gate-DD cache occupancy of the wrapped simulator (0 for the
+    /// tableau engine, which builds no gate DDs).
+    #[must_use]
+    pub fn gate_cache_len(&self) -> usize {
+        match self {
+            AnyBackend::Dd(b) => b.sim().gate_cache_len(),
+            AnyBackend::Hybrid(b) => b.sim().gate_cache_len(),
+            AnyBackend::Stabilizer(_) => 0,
+        }
+    }
+
+    /// Attaches a run-trace observer to the wrapped simulator. The
+    /// tableau engine emits no trace events, so this is a no-op there
+    /// (pooled trace capture simply records an empty trace).
+    pub fn attach_observer(&mut self, observer: SharedObserver) {
+        match self {
+            AnyBackend::Dd(b) => b.sim_mut().attach_observer(observer),
+            AnyBackend::Hybrid(b) => b.sim_mut().attach_observer(observer),
+            AnyBackend::Stabilizer(_) => {}
+        }
+    }
+
+    /// Size of an outcome's final state representation: DD node count,
+    /// or tableau storage words.
+    #[must_use]
+    pub fn final_size(&self, outcome: &RunOutcome<AnyHandle>) -> usize {
+        match (self, outcome.handle()) {
+            (AnyBackend::Dd(b), AnyHandle::Dd(r)) => b.sim().package().vsize(r.state()),
+            (AnyBackend::Stabilizer(_), AnyHandle::Stabilizer(t)) => t.storage_words(),
+            (AnyBackend::Hybrid(b), AnyHandle::Hybrid(h)) => match h {
+                HybridHandle::Dd(r) => b.sim().package().vsize(r.state()),
+                HybridHandle::Clifford(t) => t.storage_words(),
+            },
+            _ => unreachable!("{MISMATCH}"),
+        }
+    }
+}
+
+impl Backend for AnyBackend {
+    type Handle = AnyHandle;
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyBackend::Dd(b) => b.name(),
+            AnyBackend::Stabilizer(b) => b.name(),
+            AnyBackend::Hybrid(b) => b.name(),
+        }
+    }
+
+    fn prepare(&self, circuit: &Circuit) -> Result<Executable> {
+        match self {
+            AnyBackend::Dd(b) => b.prepare(circuit),
+            AnyBackend::Stabilizer(b) => b.prepare(circuit),
+            AnyBackend::Hybrid(b) => b.prepare(circuit),
+        }
+    }
+
+    fn run(&mut self, exe: &Executable) -> Result<RunOutcome<AnyHandle>> {
+        match self {
+            AnyBackend::Dd(b) => b
+                .run(exe)
+                .map(|o| o.map_handle(|r| AnyHandle::Dd(Box::new(r)))),
+            AnyBackend::Stabilizer(b) => b.run(exe).map(|o| o.map_handle(AnyHandle::Stabilizer)),
+            AnyBackend::Hybrid(b) => b.run(exe).map(|o| o.map_handle(AnyHandle::Hybrid)),
+        }
+    }
+
+    fn sample(&mut self, outcome: &RunOutcome<AnyHandle>) -> u64 {
+        match (self, outcome.handle()) {
+            (AnyBackend::Dd(b), AnyHandle::Dd(r)) => b.sim_mut().draw(r),
+            (AnyBackend::Stabilizer(b), AnyHandle::Stabilizer(t)) => b.sample_tableau(t),
+            (AnyBackend::Hybrid(b), AnyHandle::Hybrid(h)) => b.sample_handle(h),
+            _ => unreachable!("{MISMATCH}"),
+        }
+    }
+
+    fn sample_counts(
+        &mut self,
+        outcome: &RunOutcome<AnyHandle>,
+        shots: usize,
+    ) -> HashMap<u64, usize> {
+        match (self, outcome.handle()) {
+            (AnyBackend::Dd(b), AnyHandle::Dd(r)) => b.sim_mut().draw_counts(r, shots),
+            (AnyBackend::Stabilizer(b), AnyHandle::Stabilizer(t)) => {
+                b.sample_counts_tableau(t, shots)
+            }
+            (AnyBackend::Hybrid(b), AnyHandle::Hybrid(h)) => b.sample_counts_handle(h, shots),
+            _ => unreachable!("{MISMATCH}"),
+        }
+    }
+
+    fn amplitudes(&self, outcome: &RunOutcome<AnyHandle>) -> Result<Vec<Cplx>> {
+        match (self, outcome.handle()) {
+            (AnyBackend::Dd(b), AnyHandle::Dd(r)) => Ok(b.sim().amplitudes(r)?),
+            (AnyBackend::Stabilizer(_), AnyHandle::Stabilizer(t)) => Ok(t.amplitudes()?),
+            (AnyBackend::Hybrid(b), AnyHandle::Hybrid(h)) => match h {
+                HybridHandle::Clifford(t) => Ok(t.amplitudes()?),
+                HybridHandle::Dd(r) => Ok(b.sim().amplitudes(r)?),
+            },
+            _ => unreachable!("{MISMATCH}"),
+        }
+    }
+
+    fn probability(&self, outcome: &RunOutcome<AnyHandle>, basis: u64) -> Result<f64> {
+        crate::check_basis(basis, outcome.n_qubits())?;
+        match (self, outcome.handle()) {
+            (AnyBackend::Dd(b), AnyHandle::Dd(r)) => {
+                Ok(b.sim().package().probability(r.state(), basis))
+            }
+            (AnyBackend::Stabilizer(_), AnyHandle::Stabilizer(t)) => Ok(t.probability(basis)),
+            (AnyBackend::Hybrid(b), AnyHandle::Hybrid(h)) => match h {
+                HybridHandle::Clifford(t) => Ok(t.probability(basis)),
+                HybridHandle::Dd(r) => Ok(b.sim().package().probability(r.state(), basis)),
+            },
+            _ => unreachable!("{MISMATCH}"),
+        }
+    }
+
+    fn release(&mut self, outcome: RunOutcome<AnyHandle>) {
+        match (self, outcome.handle()) {
+            (AnyBackend::Dd(b), AnyHandle::Dd(r)) => b.sim_mut().release(r),
+            (AnyBackend::Stabilizer(_), AnyHandle::Stabilizer(_)) => {}
+            (AnyBackend::Hybrid(b), AnyHandle::Hybrid(h)) => match h {
+                HybridHandle::Clifford(_) => {}
+                HybridHandle::Dd(r) => b.sim_mut().release(r),
+            },
+            _ => unreachable!("{MISMATCH}"),
+        }
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        match self {
+            AnyBackend::Dd(b) => b.reseed(seed),
+            AnyBackend::Stabilizer(b) => b.reseed(seed),
+            AnyBackend::Hybrid(b) => b.reseed(seed),
+        }
+    }
+}

@@ -7,6 +7,7 @@ use approxdd_circuit::noise::NoiseError;
 use approxdd_circuit::CircuitError;
 use approxdd_dd::DdError;
 use approxdd_sim::SimError;
+use approxdd_stabilizer::StabilizerError;
 use approxdd_statevector::StateError;
 
 /// Every way a [`crate::Backend`] can fail, absorbing the engine error
@@ -18,6 +19,9 @@ pub enum ExecError {
     Sim(SimError),
     /// The dense statevector engine failed.
     State(StateError),
+    /// The stabilizer tableau engine failed (non-Clifford operation or
+    /// width cap).
+    Stabilizer(StabilizerError),
     /// The decision-diagram engine failed.
     Dd(DdError),
     /// The circuit failed validation.
@@ -53,6 +57,7 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::Sim(e) => write!(f, "dd simulator error: {e}"),
             ExecError::State(e) => write!(f, "statevector error: {e}"),
+            ExecError::Stabilizer(e) => write!(f, "stabilizer engine error: {e}"),
             ExecError::Dd(e) => write!(f, "decision-diagram error: {e}"),
             ExecError::Circuit(e) => write!(f, "circuit error: {e}"),
             ExecError::Noise(e) => write!(f, "noise model error: {e}"),
@@ -74,6 +79,7 @@ impl Error for ExecError {
         match self {
             ExecError::Sim(e) => Some(e),
             ExecError::State(e) => Some(e),
+            ExecError::Stabilizer(e) => Some(e),
             ExecError::Dd(e) => Some(e),
             ExecError::Circuit(e) => Some(e),
             ExecError::Noise(e) => Some(e),
@@ -99,6 +105,12 @@ impl From<SimError> for ExecError {
 impl From<StateError> for ExecError {
     fn from(e: StateError) -> Self {
         ExecError::State(e)
+    }
+}
+
+impl From<StabilizerError> for ExecError {
+    fn from(e: StabilizerError) -> Self {
+        ExecError::Stabilizer(e)
     }
 }
 

@@ -50,12 +50,18 @@
 //! # }
 //! ```
 
+mod any;
 mod dd;
 mod error;
+mod hybrid;
+mod stab;
 mod sv;
 
+pub use any::{AnyBackend, AnyHandle};
 pub use dd::DdBackend;
 pub use error::ExecError;
+pub use hybrid::{HybridBackend, HybridHandle};
+pub use stab::StabilizerBackend;
 pub use sv::StatevectorBackend;
 
 use std::collections::HashMap;
@@ -63,7 +69,7 @@ use std::time::Duration;
 
 use approxdd_circuit::Circuit;
 use approxdd_complex::Cplx;
-use approxdd_sim::{SimStats, SimulatorBuilder};
+use approxdd_sim::{Engine, SimStats, SimulatorBuilder};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ExecError>;
@@ -139,6 +145,17 @@ pub struct BackendStats {
     /// i.e. the dense baseline). Session-cumulative for the DD engine:
     /// the package persists across runs of one backend.
     pub dd: Option<approxdd_dd::PackageStats>,
+    /// Short name of the engine that produced this run (`"dd"`,
+    /// `"statevector"`, `"stabilizer"`, `"hybrid"`). Excluded from
+    /// pooled-run fingerprints: the same job must fingerprint
+    /// identically however it was routed.
+    pub engine: &'static str,
+    /// Number of leading circuit operations absorbed by a stabilizer
+    /// tableau before (or instead of) the main engine: the whole
+    /// circuit for the stabilizer engine, the maximal Clifford prefix
+    /// for the hybrid engine, 0 for engines without a Clifford fast
+    /// path.
+    pub clifford_prefix_len: usize,
 }
 
 impl BackendStats {
@@ -179,6 +196,8 @@ impl From<SimStats> for BackendStats {
             runtime: s.runtime,
             size_series: s.size_series,
             dd: Some(s.package),
+            engine: "dd",
+            clifford_prefix_len: 0,
         }
     }
 }
@@ -223,6 +242,16 @@ impl<H> RunOutcome<H> {
     #[must_use]
     pub fn handle(&self) -> &H {
         &self.handle
+    }
+
+    /// Rewraps the handle (used by [`AnyBackend`] to lift concrete
+    /// outcomes into [`AnyHandle`]).
+    fn map_handle<T>(self, f: impl FnOnce(H) -> T) -> RunOutcome<T> {
+        RunOutcome {
+            stats: self.stats,
+            n_qubits: self.n_qubits,
+            handle: f(self.handle),
+        }
     }
 }
 
@@ -361,11 +390,32 @@ pub fn amplitudes_of<B: Backend>(backend: &mut B, circuit: &Circuit) -> Result<V
 pub trait BuildBackend {
     /// Builds the configured simulator wrapped as a [`DdBackend`].
     fn build_backend(self) -> DdBackend;
+
+    /// Builds the backend the builder's [`Engine`] knob selects —
+    /// DD, stabilizer tableau, or hybrid Clifford-prefix dispatch —
+    /// as the engine-polymorphic [`AnyBackend`]. This is what pooled
+    /// execution calls, so `.engine(…)` routes every worker.
+    fn build_engine_backend(self) -> AnyBackend;
 }
 
 impl BuildBackend for SimulatorBuilder {
     fn build_backend(self) -> DdBackend {
         DdBackend::new(self.build())
+    }
+
+    fn build_engine_backend(self) -> AnyBackend {
+        match self.engine_kind() {
+            Engine::Stabilizer => {
+                AnyBackend::Stabilizer(StabilizerBackend::with_seed(self.sample_seed()))
+            }
+            Engine::Hybrid => {
+                let seed = self.sample_seed();
+                AnyBackend::Hybrid(HybridBackend::with_seed(self.build(), seed))
+            }
+            // Engine is non-exhaustive; unknown engines run on the DD
+            // reference implementation.
+            _ => AnyBackend::Dd(DdBackend::new(self.build())),
+        }
     }
 }
 

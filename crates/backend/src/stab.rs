@@ -1,0 +1,148 @@
+//! [`Backend`] over the stabilizer-tableau engine.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use approxdd_circuit::Circuit;
+use approxdd_complex::Cplx;
+use approxdd_stabilizer::{StabilizerError, Tableau, MAX_INDEXED_QUBITS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Backend, BackendStats, Executable, Result, RunOutcome};
+
+/// The Aaronson–Gottesman tableau behind the [`Backend`] API:
+/// polynomial-time and exact, for Clifford circuits only.
+///
+/// Preparation rejects circuits with any non-Clifford operation (use
+/// [`crate::HybridBackend`] to run those with a tableau prefix) and
+/// registers wider than [`MAX_INDEXED_QUBITS`] (`u64` basis indexing).
+/// Outcomes own their [`Tableau`], so `release` is a plain drop.
+/// Sampling draws from the backend's owned RNG, one `bool` per support
+/// dimension, so reseed-and-replay determinism matches the other
+/// engines.
+#[derive(Debug)]
+pub struct StabilizerBackend {
+    rng: StdRng,
+}
+
+impl StabilizerBackend {
+    /// A backend with the default sampling seed
+    /// ([`approxdd_sim::DEFAULT_SAMPLE_SEED`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_seed(approxdd_sim::DEFAULT_SAMPLE_SEED)
+    }
+
+    /// A backend whose sampling RNG is seeded with `seed`.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Default for StabilizerBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StabilizerBackend {
+    /// Draws one sample straight from a tableau with the backend's RNG
+    /// (the engine-dispatch path of `AnyBackend`).
+    pub(crate) fn sample_tableau(&mut self, tableau: &Tableau) -> u64 {
+        tableau.sample(&mut self.rng)
+    }
+
+    /// Histogram counterpart of [`StabilizerBackend::sample_tableau`].
+    pub(crate) fn sample_counts_tableau(
+        &mut self,
+        tableau: &Tableau,
+        shots: usize,
+    ) -> HashMap<u64, usize> {
+        tableau.sample_counts(shots, &mut self.rng)
+    }
+}
+
+impl Backend for StabilizerBackend {
+    type Handle = Tableau;
+
+    fn name(&self) -> &'static str {
+        "stabilizer"
+    }
+
+    fn prepare(&self, circuit: &Circuit) -> Result<Executable> {
+        circuit.validate()?;
+        if circuit.n_qubits() > MAX_INDEXED_QUBITS {
+            return Err(StabilizerError::TooManyQubits {
+                n_qubits: circuit.n_qubits(),
+                max: MAX_INDEXED_QUBITS,
+            }
+            .into());
+        }
+        if !circuit.is_clifford() {
+            return Err(StabilizerError::NonClifford {
+                index: circuit.clifford_prefix_len(),
+            }
+            .into());
+        }
+        Ok(Executable::from_validated(circuit.clone()))
+    }
+
+    fn run(&mut self, exe: &Executable) -> Result<RunOutcome<Tableau>> {
+        let start = Instant::now();
+        let mut tableau = Tableau::new(exe.n_qubits());
+        let mut gates_applied = 0;
+        for (index, op) in exe.circuit().ops().iter().enumerate() {
+            if tableau.apply_op(index, op)? {
+                gates_applied += 1;
+            }
+        }
+        let stats = BackendStats {
+            gates_applied,
+            peak_size: tableau.storage_words(),
+            approx_rounds: 0,
+            fidelity: 1.0,
+            fidelity_lower_bound: 1.0,
+            policy: "exact".to_string(),
+            nodes_removed: 0,
+            runtime: start.elapsed(),
+            size_series: Vec::new(),
+            dd: None,
+            engine: "stabilizer",
+            clifford_prefix_len: exe.circuit().ops().len(),
+        };
+        Ok(RunOutcome::new(stats, exe.n_qubits(), tableau))
+    }
+
+    fn sample(&mut self, outcome: &RunOutcome<Tableau>) -> u64 {
+        outcome.handle().sample(&mut self.rng)
+    }
+
+    fn sample_counts(
+        &mut self,
+        outcome: &RunOutcome<Tableau>,
+        shots: usize,
+    ) -> HashMap<u64, usize> {
+        outcome.handle().sample_counts(shots, &mut self.rng)
+    }
+
+    fn amplitudes(&self, outcome: &RunOutcome<Tableau>) -> Result<Vec<Cplx>> {
+        Ok(outcome.handle().amplitudes()?)
+    }
+
+    fn probability(&self, outcome: &RunOutcome<Tableau>, basis: u64) -> Result<f64> {
+        crate::check_basis(basis, outcome.n_qubits())?;
+        Ok(outcome.handle().probability(basis))
+    }
+
+    fn release(&mut self, outcome: RunOutcome<Tableau>) {
+        drop(outcome);
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+}

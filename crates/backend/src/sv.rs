@@ -80,6 +80,8 @@ impl Backend for StatevectorBackend {
             runtime: start.elapsed(),
             size_series: Vec::new(),
             dd: None,
+            engine: "statevector",
+            clifford_prefix_len: 0,
         };
         Ok(RunOutcome::new(stats, exe.n_qubits(), state))
     }

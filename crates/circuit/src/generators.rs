@@ -286,6 +286,57 @@ pub fn random_circuit(n: usize, depth: usize, seed: u64) -> Circuit {
     c
 }
 
+/// A random **Clifford** circuit in the style of randomized
+/// benchmarking: `depth` layers, each applying one uniformly random
+/// single-qubit Clifford-alphabet gate per qubit followed by CX/CZ
+/// gates on a random qubit pairing. Deterministic in `seed`; the whole
+/// circuit classifies as Clifford
+/// ([`crate::Circuit::is_clifford`]), so the stabilizer engine
+/// simulates it in polynomial time at any width.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn random_clifford(n: usize, depth: usize, seed: u64) -> Circuit {
+    assert!(n > 0, "random_clifford requires at least one qubit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n, format!("clifford_{n}_{depth}_{seed}"));
+    let singles = [
+        Gate::H,
+        Gate::S,
+        Gate::Sdg,
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::Sx,
+        Gate::Sxdg,
+        Gate::Sy,
+        Gate::Sydg,
+    ];
+    for _ in 0..depth {
+        for q in 0..n {
+            let g = singles[rng.gen_range(0..singles.len())];
+            c.gate(g, q);
+        }
+        let mut qubits: Vec<usize> = (0..n).collect();
+        for i in (1..qubits.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            qubits.swap(i, j);
+        }
+        for pair in qubits.chunks(2) {
+            if pair.len() == 2 {
+                if rng.gen_bool(0.5) {
+                    c.cx(pair[0], pair[1]);
+                } else {
+                    c.cz(pair[0], pair[1]);
+                }
+            }
+        }
+    }
+    c
+}
+
 /// A quantum-volume style circuit (Cross et al.): `depth` layers, each
 /// a random qubit pairing with a Haar-random SU(4) dense block per
 /// pair. These circuits scramble even faster than supremacy grids and

@@ -25,6 +25,7 @@
 //! ```
 
 mod circuit;
+mod clifford;
 mod gate;
 mod op;
 
@@ -33,5 +34,6 @@ pub mod noise;
 pub mod qasm;
 
 pub use circuit::{Circuit, CircuitError, CircuitStats};
+pub use clifford::{CliffordGate, CliffordOp};
 pub use gate::Gate;
 pub use op::{Control, Operation};

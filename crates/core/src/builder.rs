@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use approxdd_circuit::noise::NoiseModel;
 
-use crate::options::{ApproxPrimitive, SimOptions, Strategy};
+use crate::options::{ApproxPrimitive, Engine, SimOptions, Strategy};
 use crate::policy::{PolicyFactory, SharedObserver, SimObserver};
 use crate::simulator::{Simulator, DEFAULT_SAMPLE_SEED};
 
@@ -42,6 +42,7 @@ pub struct SimulatorBuilder {
     policy: Option<Arc<dyn PolicyFactory>>,
     observers: Vec<SharedObserver>,
     noise: Option<NoiseModel>,
+    engine: Engine,
 }
 
 impl std::fmt::Debug for SimulatorBuilder {
@@ -53,6 +54,7 @@ impl std::fmt::Debug for SimulatorBuilder {
             .field("policy", &self.policy.is_some())
             .field("observers", &self.observers.len())
             .field("noise", &self.noise.is_some())
+            .field("engine", &self.engine)
             .finish()
     }
 }
@@ -67,6 +69,7 @@ impl SimulatorBuilder {
             policy: None,
             observers: Vec::new(),
             noise: None,
+            engine: Engine::Dd,
         }
     }
 
@@ -243,6 +246,22 @@ impl SimulatorBuilder {
     #[must_use]
     pub fn noise_model(&self) -> Option<&NoiseModel> {
         self.noise.as_ref()
+    }
+
+    /// Selects the simulation engine for backends built from this
+    /// configuration ([`Engine::Dd`] by default). Plain
+    /// [`SimulatorBuilder::build`] always constructs the DD simulator —
+    /// the knob is read by `build_engine_backend()` in
+    /// `approxdd-backend` and by pooled/noisy execution templates.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine selected via [`SimulatorBuilder::engine`].
+    #[must_use]
+    pub fn engine_kind(&self) -> Engine {
+        self.engine
     }
 
     /// The worker-thread count a pool built from this builder will use:

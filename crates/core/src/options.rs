@@ -2,6 +2,43 @@
 
 use crate::error::SimError;
 
+/// Which simulation engine a backend built from a
+/// [`crate::SimulatorBuilder`] should use.
+///
+/// The builder itself always constructs the DD [`crate::Simulator`];
+/// this knob is read by the backend layer (`approxdd-backend`'s
+/// `build_engine_backend`) and by pooled execution to route circuits
+/// to the stabilizer tableau or the hybrid Clifford-prefix dispatcher
+/// instead. Keeping it here means one template (builder) describes the
+/// full experiment, engine choice included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Engine {
+    /// The approximate decision-diagram engine (the default).
+    #[default]
+    Dd,
+    /// The Aaronson–Gottesman stabilizer tableau: polynomial-time and
+    /// exact, but restricted to Clifford circuits.
+    Stabilizer,
+    /// Hybrid dispatch: the maximal Clifford prefix runs on the
+    /// tableau, the remainder on the DD engine seeded with the
+    /// synthesized stabilizer state. Pure-Clifford circuits never
+    /// touch the DD package.
+    Hybrid,
+}
+
+impl Engine {
+    /// Short engine label (`"dd"`, `"stabilizer"`, `"hybrid"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Dd => "dd",
+            Engine::Stabilizer => "stabilizer",
+            Engine::Hybrid => "hybrid",
+        }
+    }
+}
+
 /// The approximation strategy applied during simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]

@@ -292,6 +292,21 @@ pub struct MemoryDrivenPolicy {
     round_fidelity: f64,
     threshold_growth: f64,
     current: usize,
+    threshold_unreachable: bool,
+}
+
+/// Whether a memory threshold can ever fire on an `n_qubits`-wide run:
+/// a width-`n` state DD holds at most `2^n − 1` nodes (a complete
+/// binary tree of `n` levels), so a threshold at or above that ceiling
+/// is dead weight — the run silently executes exactly, which is easy
+/// to misread as "the policy held memory down". Widths where `2^n`
+/// overflows `usize` can always exceed any representable threshold.
+#[must_use]
+pub fn memory_threshold_unreachable(node_threshold: usize, n_qubits: usize) -> bool {
+    u32::try_from(n_qubits)
+        .ok()
+        .and_then(|n| 1usize.checked_shl(n))
+        .is_some_and(|cap| node_threshold >= cap - 1)
 }
 
 impl MemoryDrivenPolicy {
@@ -317,7 +332,16 @@ impl MemoryDrivenPolicy {
             round_fidelity,
             threshold_growth,
             current: node_threshold,
+            threshold_unreachable: false,
         }
+    }
+
+    /// Whether [`ApproxPolicy::begin`] found the threshold unreachable
+    /// for the run's register width (see
+    /// [`memory_threshold_unreachable`]) — `false` before `begin`.
+    #[must_use]
+    pub fn threshold_unreachable(&self) -> bool {
+        self.threshold_unreachable
     }
 
     fn as_strategy(&self) -> Strategy {
@@ -334,9 +358,25 @@ impl ApproxPolicy for MemoryDrivenPolicy {
         "memory-driven"
     }
 
-    fn begin(&mut self, _circuit: &Circuit) -> Result<(), SimError> {
+    fn begin(&mut self, circuit: &Circuit) -> Result<(), SimError> {
         self.as_strategy().validate()?;
         self.current = self.node_threshold;
+        // Non-fatal: an unreachable threshold means an exact run, which
+        // is a valid configuration — but usually an accidental one
+        // (e.g. a sweep's fixed threshold outgrowing its narrowest
+        // circuits), so flag it loudly instead of silently never
+        // approximating.
+        self.threshold_unreachable =
+            memory_threshold_unreachable(self.node_threshold, circuit.n_qubits());
+        if self.threshold_unreachable {
+            eprintln!(
+                "warning: memory threshold {} can never fire on {} ({} qubits): \
+                 a width-n state DD holds at most 2^n - 1 nodes, so this run is exact",
+                self.node_threshold,
+                circuit.name(),
+                circuit.n_qubits()
+            );
+        }
         Ok(())
     }
 
@@ -711,6 +751,28 @@ mod tests {
         // begin() resets the grown threshold.
         p.begin(&generators::ghz(3)).unwrap();
         assert_eq!(p.node_threshold(), Some(10));
+    }
+
+    #[test]
+    fn memory_policy_flags_unreachable_thresholds() {
+        // A width-n state DD caps at 2^n − 1 nodes, so a 4-qubit run
+        // can never exceed a threshold of 15: the policy must flag it
+        // (non-fatally — the run proceeds, exactly).
+        assert!(memory_threshold_unreachable(15, 4));
+        assert!(!memory_threshold_unreachable(14, 4));
+        // Wide registers overflow usize long before the ceiling: every
+        // representable threshold is reachable.
+        assert!(!memory_threshold_unreachable(usize::MAX, 64));
+        assert!(!memory_threshold_unreachable(usize::MAX, 200));
+
+        let mut p = MemoryDrivenPolicy::table1(1 << 4, 0.97);
+        assert!(!p.threshold_unreachable(), "unset before begin");
+        p.begin(&generators::ghz(4)).unwrap();
+        assert!(p.threshold_unreachable());
+        assert_eq!(p.decide(&ctx(true, 15, 1.0)), PolicyAction::Continue);
+        // The same policy on a wider circuit is fine again.
+        p.begin(&generators::ghz(8)).unwrap();
+        assert!(!p.threshold_unreachable());
     }
 
     #[test]

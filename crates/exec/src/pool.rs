@@ -33,10 +33,12 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use approxdd_backend::{Backend, BackendStats, BuildBackend, DdBackend, ExecError, RunOutcome};
+use approxdd_backend::{
+    AnyBackend, AnyHandle, Backend, BackendStats, BuildBackend, ExecError, RunOutcome,
+};
 use approxdd_circuit::Circuit;
 use approxdd_sim::{
-    PolicyFactory, RunResult, SharedObserver, SimulatorBuilder, Strategy, TraceEvent, TraceRecorder,
+    PolicyFactory, SharedObserver, SimulatorBuilder, Strategy, TraceEvent, TraceRecorder,
 };
 
 use crate::seed::{SeedStream, DOMAIN_RUN, DOMAIN_SAMPLE};
@@ -160,9 +162,10 @@ pub struct PoolOutcome {
     /// Register width.
     pub n_qubits: usize,
     /// Unified run statistics (identical to what a single-threaded
-    /// [`DdBackend`] run of the same job reports).
+    /// backend run of the same job reports).
     pub stats: BackendStats,
-    /// DD node count of the final state.
+    /// Size of the final state representation: DD node count, or
+    /// tableau storage words for stabilizer-engine runs.
     pub final_size: usize,
     /// Measurement histogram when the job requested shots.
     pub counts: Option<HashMap<u64, usize>>,
@@ -350,9 +353,10 @@ enum Task {
     },
 }
 
-/// A fixed-size pool of worker threads, each owning a [`DdBackend`]
-/// built from a shared [`SimulatorBuilder`] template, executing batch
-/// and sampling jobs from one channel-based work queue.
+/// A fixed-size pool of worker threads, each owning an [`AnyBackend`]
+/// built from a shared [`SimulatorBuilder`] template (the template's
+/// `engine` knob selects DD, stabilizer or hybrid execution), running
+/// batch and sampling jobs from one channel-based work queue.
 ///
 /// Build one through the builder —
 /// `Simulator::builder().workers(4).build_pool()` (see [`BuildPool`])
@@ -646,12 +650,13 @@ impl BuildPool for SimulatorBuilder {
 struct Worker {
     id: usize,
     template: SimulatorBuilder,
-    backend: DdBackend,
-    epoch: Option<(u64, RunOutcome<RunResult>)>,
+    backend: AnyBackend,
+    epoch: Option<(u64, RunOutcome<AnyHandle>)>,
     /// Cache counters harvested from retired backends (each run job
     /// rebuilds the backend, so the live package only covers the
     /// current job). Summed across workers these cover every executed
-    /// job — deterministic regardless of scheduling.
+    /// job — deterministic regardless of scheduling. The pure-tableau
+    /// engine owns no DD package, so its jobs contribute zeros.
     harvested_ct_hits: u64,
     harvested_ct_misses: u64,
     harvested_peak_nodes: usize,
@@ -667,10 +672,11 @@ impl Worker {
         strategy: Option<Strategy>,
         policy: Option<&Arc<dyn PolicyFactory>>,
     ) {
-        let pkg = self.backend.sim().package().stats();
-        self.harvested_ct_hits += pkg.ct_hits;
-        self.harvested_ct_misses += pkg.ct_misses;
-        self.harvested_peak_nodes = self.harvested_peak_nodes.max(pkg.peak_nodes());
+        if let Some(pkg) = self.backend.package_stats() {
+            self.harvested_ct_hits += pkg.ct_hits;
+            self.harvested_ct_misses += pkg.ct_misses;
+            self.harvested_peak_nodes = self.harvested_peak_nodes.max(pkg.peak_nodes());
+        }
         self.epoch = None; // handle dies with the old package
         let mut template = self.template.clone();
         if let Some(factory) = policy {
@@ -678,7 +684,7 @@ impl Worker {
         } else if let Some(strategy) = strategy {
             template = template.strategy(strategy);
         }
-        self.backend = template.build_backend();
+        self.backend = template.build_engine_backend();
     }
 
     fn run_job(&mut self, job: &PoolJob, seed: u64) -> Result<PoolOutcome, ExecError> {
@@ -686,7 +692,6 @@ impl Worker {
         let recorder = job.trace.then(|| {
             let recorder = TraceRecorder::shared();
             self.backend
-                .sim_mut()
                 .attach_observer(recorder.clone() as SharedObserver);
             recorder
         });
@@ -706,7 +711,7 @@ impl Worker {
             .expectation
             .as_ref()
             .map(|f| self.backend.expectation(&outcome, &**f));
-        let final_size = self.backend.sim().package().vsize(outcome.handle().state());
+        let final_size = self.backend.final_size(&outcome);
         let stats = outcome.stats.clone();
         let n_qubits = outcome.n_qubits();
         self.backend.release(outcome);
@@ -765,17 +770,24 @@ impl Worker {
         }
         stats.shots_drawn += shots;
         stats.busy += busy;
-        let sim = self.backend.sim();
-        let pkg = sim.package().stats();
-        stats.alive_nodes = pkg.vnodes_alive + pkg.mnodes_alive;
-        stats.cached_gates = sim.gate_cache_len();
-        // Harvested totals plus the live package: covers every job this
-        // worker has executed.
-        stats.peak_nodes = self.harvested_peak_nodes.max(pkg.peak_nodes());
-        stats.ct_hits = self.harvested_ct_hits + pkg.ct_hits;
-        stats.ct_misses = self.harvested_ct_misses + pkg.ct_misses;
-        stats.unique_len = pkg.unique_len;
-        stats.unique_capacity = pkg.unique_capacity;
+        stats.cached_gates = self.backend.gate_cache_len();
+        // Harvested totals plus the live package (when the engine owns
+        // one): covers every job this worker has executed.
+        if let Some(pkg) = self.backend.package_stats() {
+            stats.alive_nodes = pkg.vnodes_alive + pkg.mnodes_alive;
+            stats.peak_nodes = self.harvested_peak_nodes.max(pkg.peak_nodes());
+            stats.ct_hits = self.harvested_ct_hits + pkg.ct_hits;
+            stats.ct_misses = self.harvested_ct_misses + pkg.ct_misses;
+            stats.unique_len = pkg.unique_len;
+            stats.unique_capacity = pkg.unique_capacity;
+        } else {
+            stats.alive_nodes = 0;
+            stats.peak_nodes = self.harvested_peak_nodes;
+            stats.ct_hits = self.harvested_ct_hits;
+            stats.ct_misses = self.harvested_ct_misses;
+            stats.unique_len = 0;
+            stats.unique_capacity = 0;
+        }
     }
 }
 
@@ -789,7 +801,7 @@ fn worker_loop(
     let mut worker = Worker {
         id,
         template: template.clone(),
-        backend: template.clone().build_backend(),
+        backend: template.clone().build_engine_backend(),
         epoch: None,
         harvested_ct_hits: 0,
         harvested_ct_misses: 0,

@@ -452,6 +452,38 @@ mod tests {
     }
 
     #[test]
+    fn stabilizer_engine_runs_pauli_trajectories_deterministically() {
+        // Pauli branches keep Clifford circuits Clifford (see the
+        // sampler docs), so the tableau engine can execute every
+        // trajectory — and the merged outcome must stay byte-identical
+        // across worker counts, exactly like the DD engine.
+        use approxdd_sim::Engine;
+        let circuit = generators::random_clifford(6, 4, 21);
+        let fingerprints: Vec<u64> = [1, 2, 8]
+            .into_iter()
+            .map(|workers| {
+                let pool = Simulator::builder()
+                    .engine(Engine::Stabilizer)
+                    .noise(small_model())
+                    .seed(13)
+                    .workers(workers)
+                    .build_noise_pool();
+                let outcome = pool
+                    .run_trajectories(&circuit, &TrajectoryConfig::new(6).shots(64))
+                    .expect("stabilizer trajectories");
+                assert_eq!(outcome.counts.values().sum::<usize>(), 6 * 64);
+                assert!(outcome
+                    .records
+                    .iter()
+                    .all(|r| r.stats.engine == "stabilizer" && r.stats.dd.is_none()));
+                outcome.fingerprint()
+            })
+            .collect();
+        assert_eq!(fingerprints[0], fingerprints[1]);
+        assert_eq!(fingerprints[0], fingerprints[2]);
+    }
+
+    #[test]
     fn invalid_models_fail_fast() {
         let bad = NoiseModel::new().with_qubit(0, NoiseChannel::depolarizing2(0.5).unwrap());
         let pool = NoisePool::with_model(Simulator::builder().workers(1), bad);

@@ -5,7 +5,10 @@
 //! model's channel application sites in deterministic order
 //! ([`NoiseModel::applications`]), draws one uniform variate per site
 //! from a trajectory-local RNG, and inserts the selected Kraus branch
-//! into the op stream: Pauli branches as plain gates, general branches
+//! into the op stream: Pauli branches as plain gates (every one of
+//! them Clifford, so Pauli-noise trajectories of a Clifford circuit
+//! stay Clifford and run at tableau cost on the stabilizer and hybrid
+//! engines), general branches
 //! (amplitude damping) as width-1 dense blocks carrying the rescaled
 //! operator `K/√q` (see [`approxdd_circuit::noise`] for why that makes
 //! the trajectory mean reproduce the channel exactly).
@@ -124,6 +127,15 @@ impl TrajectoryPlan {
                     let qubit = site.qubits[slot];
                     match factor {
                         KrausFactor::Gate(gate) => {
+                            // Pauli branches are Clifford by
+                            // construction, so inserting them preserves
+                            // a circuit's Clifford prefix — the hybrid
+                            // engine absorbs Pauli noise on Clifford
+                            // circuits at tableau cost.
+                            debug_assert!(
+                                gate.clifford_kind().is_some(),
+                                "Kraus gate branches are Pauli (Clifford): {gate:?}"
+                            );
                             out.gate(*gate, qubit);
                         }
                         KrausFactor::Matrix(m) => {
@@ -224,6 +236,23 @@ mod tests {
             "{inserted:?}"
         );
         t.circuit.validate().unwrap();
+    }
+
+    #[test]
+    fn pauli_noise_preserves_clifford_circuits() {
+        let circuit = generators::random_clifford(5, 6, 11);
+        assert!(circuit.is_clifford());
+        let model = NoiseModel::new()
+            .with_global(NoiseChannel::depolarizing(0.4).unwrap())
+            .with_global(NoiseChannel::depolarizing2(0.4).unwrap());
+        let plan = TrajectoryPlan::new(&circuit, &model);
+        for seed in 0..50 {
+            let t = plan.sample(seed);
+            assert!(
+                t.circuit.is_clifford(),
+                "Pauli branches must keep the trajectory Clifford (seed {seed})"
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`exec`] — the multi-threaded [`exec::BackendPool`]: batched runs
 //!   and sharded sampling across worker threads, deterministic under
 //!   any worker count,
+//! * [`stabilizer`] — the Aaronson–Gottesman tableau engine for
+//!   Clifford circuits (exact global phase, polynomial time), behind
+//!   `backend::StabilizerBackend` / `backend::HybridBackend`,
 //! * [`noise`] — stochastic noise-trajectory simulation: Kraus
 //!   channels ([`circuit::noise`]), a pooled Monte-Carlo trajectory
 //!   driver ([`noise::NoisePool`]), and an exact density-matrix
@@ -75,4 +78,5 @@ pub use approxdd_exec as exec;
 pub use approxdd_noise as noise;
 pub use approxdd_shor as shor;
 pub use approxdd_sim as sim;
+pub use approxdd_stabilizer as stabilizer;
 pub use approxdd_statevector as statevector;

@@ -11,11 +11,15 @@
 //! empty and oversized batches must behave, and a poisoned job must
 //! neither deadlock the queue nor disturb its neighbours' results.
 
-use approxdd::backend::{amplitudes_of, Backend, BuildBackend, ExecError, StatevectorBackend};
+use approxdd::backend::{
+    amplitudes_of, Backend, BuildBackend, ExecError, HybridBackend, StabilizerBackend,
+    StatevectorBackend,
+};
 use approxdd::circuit::{generators, Circuit};
 use approxdd::complex::Cplx;
 use approxdd::exec::{BuildPool, PoolJob};
-use approxdd::sim::{Simulator, Strategy};
+use approxdd::sim::{Engine, Simulator, Strategy};
+use proptest::prelude::*;
 
 fn workloads() -> Vec<Circuit> {
     vec![
@@ -25,10 +29,23 @@ fn workloads() -> Vec<Circuit> {
     ]
 }
 
+/// Clifford-only workloads for the tableau engine (which rejects
+/// anything else at prepare time).
+fn clifford_workloads() -> Vec<Circuit> {
+    vec![
+        generators::ghz(8),
+        generators::random_clifford(6, 8, 3),
+        generators::random_clifford(10, 5, 4),
+    ]
+}
+
 /// The generic per-engine contract: every workload runs through the
 /// full lifecycle with self-consistent results.
 fn check_backend<B: Backend>(backend: &mut B) {
-    let circuits = workloads();
+    check_backend_on(backend, workloads());
+}
+
+fn check_backend_on<B: Backend>(backend: &mut B, circuits: Vec<Circuit>) {
     let exes: Vec<_> = circuits
         .iter()
         .map(|c| {
@@ -107,6 +124,75 @@ fn statevector_backend_satisfies_the_contract() {
 }
 
 #[test]
+fn stabilizer_backend_satisfies_the_contract() {
+    check_backend_on(&mut StabilizerBackend::with_seed(5), clifford_workloads());
+}
+
+#[test]
+fn hybrid_backend_satisfies_the_contract() {
+    // The full workloads: GHZ is pure Clifford (tableau path), QFT and
+    // supremacy have non-Clifford tails (synthesis + DD path).
+    check_backend(&mut HybridBackend::with_seed(
+        Simulator::builder().seed(5).build(),
+        5,
+    ));
+}
+
+#[test]
+fn engine_knob_backends_satisfy_the_contract() {
+    // The builder's engine knob produces the same contract-conforming
+    // backends through the pooled construction path.
+    let mut hybrid = Simulator::builder()
+        .seed(5)
+        .engine(Engine::Hybrid)
+        .build_engine_backend();
+    check_backend(&mut hybrid);
+    let mut stab = Simulator::builder()
+        .seed(5)
+        .engine(Engine::Stabilizer)
+        .build_engine_backend();
+    check_backend_on(&mut stab, clifford_workloads());
+}
+
+#[test]
+fn stabilizer_rejects_non_clifford_and_wide_registers() {
+    let backend = StabilizerBackend::new();
+    assert!(matches!(
+        backend.prepare(&generators::qft(4)),
+        Err(ExecError::Stabilizer(_))
+    ));
+    assert!(matches!(
+        backend.prepare(&generators::ghz(64)),
+        Err(ExecError::Stabilizer(_))
+    ));
+}
+
+#[test]
+fn hybrid_reports_the_clifford_prefix() {
+    let mut backend = HybridBackend::new(Simulator::builder().build());
+
+    // Pure Clifford: the outcome is a tableau, no DD stats at all.
+    let ghz = generators::ghz(12);
+    let exe = backend.prepare(&ghz).expect("prepare");
+    let run = backend.run(&exe).expect("run");
+    assert_eq!(run.stats.engine, "hybrid");
+    assert_eq!(run.stats.clifford_prefix_len, ghz.gate_count());
+    assert!(run.stats.dd.is_none(), "pure Clifford never touches DD");
+    backend.release(run);
+
+    // Clifford prefix then a T gate: the prefix length is exactly the
+    // split point, DD stats cover the suffix.
+    let mut mixed = Circuit::new(4, "mixed");
+    mixed.h(0).cx(0, 1).s(2).cz(1, 3).t(0).h(3);
+    let exe = backend.prepare(&mixed).expect("prepare");
+    let run = backend.run(&exe).expect("run");
+    assert_eq!(run.stats.clifford_prefix_len, 4);
+    assert_eq!(run.stats.gates_applied, 6);
+    assert!(run.stats.dd.is_some(), "suffix runs on the DD engine");
+    backend.release(run);
+}
+
+#[test]
 fn engines_agree_on_amplitudes_and_fidelity() {
     let mut dd = Simulator::builder().seed(9).build_backend();
     let mut sv = StatevectorBackend::with_seed(9);
@@ -128,6 +214,55 @@ fn engines_agree_on_amplitudes_and_fidelity() {
             "{}: cross-engine fidelity {fidelity}",
             circuit.name()
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Random Clifford circuits up to 10 qubits: the tableau engine's
+    // amplitudes must agree with both the DD and the dense statevector
+    // engine, elementwise and in probability.
+    #[test]
+    fn stabilizer_matches_dd_and_statevector_on_random_cliffords(
+        n in 2usize..11,
+        depth in 1usize..9,
+        seed in 0u64..1000
+    ) {
+        let circuit = generators::random_clifford(n, depth, seed);
+        let mut stab = StabilizerBackend::with_seed(seed);
+        let mut dd = Simulator::builder().seed(seed).build_backend();
+        let mut sv = StatevectorBackend::with_seed(seed);
+        let a = amplitudes_of(&mut stab, &circuit).expect("stabilizer");
+        let b = amplitudes_of(&mut dd, &circuit).expect("dd");
+        let c = amplitudes_of(&mut sv, &circuit).expect("sv");
+        for (i, ((x, y), z)) in a.iter().zip(&b).zip(&c).enumerate() {
+            prop_assert!((*x - *y).mag() < 1e-9,
+                "{}: basis {i}: stabilizer {x} vs dd {y}", circuit.name());
+            prop_assert!((*x - *z).mag() < 1e-9,
+                "{}: basis {i}: stabilizer {x} vs sv {z}", circuit.name());
+        }
+    }
+
+    // Hybrid dispatch is exact regardless of where the circuit's
+    // Clifford prefix ends: a random Clifford prefix with a
+    // non-Clifford tail matches the dense engine.
+    #[test]
+    fn hybrid_matches_statevector_on_clifford_prefixed_circuits(
+        n in 2usize..9,
+        depth in 1usize..7,
+        seed in 0u64..1000
+    ) {
+        let mut circuit = generators::random_clifford(n, depth, seed);
+        circuit.t(0).rz(0.7, n - 1).h(0);
+        let mut hybrid = HybridBackend::with_seed(Simulator::builder().seed(seed).build(), seed);
+        let mut sv = StatevectorBackend::with_seed(seed);
+        let a = amplitudes_of(&mut hybrid, &circuit).expect("hybrid");
+        let b = amplitudes_of(&mut sv, &circuit).expect("sv");
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            prop_assert!((*x - *y).mag() < 1e-9,
+                "{}: basis {i}: hybrid {x} vs sv {y}", circuit.name());
+        }
     }
 }
 
@@ -201,6 +336,70 @@ fn pool_results_are_identical_across_worker_counts() {
             .sample_counts(&circuit, 5000)
             .expect("counts");
         assert_eq!(reference, counts, "sample_counts with {workers} workers");
+    }
+}
+
+#[test]
+fn stabilizer_and_hybrid_pool_results_are_identical_across_worker_counts() {
+    // The hybrid acceptance criterion: engine-knob pools fingerprint
+    // byte-identically across 1/2/8 workers, for both pure-Clifford
+    // batches on the tableau engine and mixed batches on hybrid
+    // dispatch.
+    let stab_jobs = || -> Vec<PoolJob> {
+        (0..4)
+            .map(|seed| PoolJob::new(generators::random_clifford(8, 6, seed)).shots(500))
+            .collect()
+    };
+    let hybrid_jobs = || -> Vec<PoolJob> {
+        vec![
+            PoolJob::new(generators::ghz(10)).shots(500),
+            PoolJob::new(generators::random_clifford(8, 6, 1)).shots(500),
+            PoolJob::new(generators::supremacy(2, 3, 10, 2)).shots(500),
+            PoolJob::new(generators::qft(6)).shots(500),
+        ]
+    };
+    for (engine, jobs) in [
+        (Engine::Stabilizer, stab_jobs as fn() -> Vec<PoolJob>),
+        (Engine::Hybrid, hybrid_jobs as fn() -> Vec<PoolJob>),
+    ] {
+        let fingerprints: Vec<Vec<u64>> = [1usize, 2, 8]
+            .iter()
+            .map(|&workers| {
+                let pool = Simulator::builder()
+                    .engine(engine)
+                    .seed(42)
+                    .workers(workers)
+                    .build_pool();
+                pool.run_jobs(jobs())
+                    .into_iter()
+                    .map(|r| r.expect("pool job").fingerprint())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(fingerprints[0], fingerprints[1], "{engine:?}: 1 vs 2");
+        assert_eq!(fingerprints[0], fingerprints[2], "{engine:?}: 1 vs 8");
+    }
+
+    // Sharded sampling through the tableau engine is worker-count
+    // invariant too.
+    let circuit = generators::random_clifford(10, 6, 9);
+    let reference = Simulator::builder()
+        .engine(Engine::Stabilizer)
+        .seed(42)
+        .workers(1)
+        .build_pool()
+        .sample_counts(&circuit, 5000)
+        .expect("counts");
+    assert_eq!(reference.values().sum::<usize>(), 5000);
+    for workers in [2usize, 8] {
+        let counts = Simulator::builder()
+            .engine(Engine::Stabilizer)
+            .seed(42)
+            .workers(workers)
+            .build_pool()
+            .sample_counts(&circuit, 5000)
+            .expect("counts");
+        assert_eq!(reference, counts, "stabilizer sharding, {workers} workers");
     }
 }
 
