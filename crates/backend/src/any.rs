@@ -64,6 +64,18 @@ impl AnyBackend {
         }
     }
 
+    /// Gate-DD lookups the wrapped simulator served from a shared
+    /// frozen snapshot (0 for the tableau engine or when the backend
+    /// was built without a snapshot).
+    #[must_use]
+    pub fn snapshot_gate_hits(&self) -> u64 {
+        match self {
+            AnyBackend::Dd(b) => b.sim().snapshot_gate_hits(),
+            AnyBackend::Hybrid(b) => b.sim().snapshot_gate_hits(),
+            AnyBackend::Stabilizer(_) => 0,
+        }
+    }
+
     /// Attaches a run-trace observer to the wrapped simulator. The
     /// tableau engine emits no trace events, so this is a no-op there
     /// (pooled trace capture simply records an empty trace).

@@ -69,7 +69,7 @@ use std::time::Duration;
 
 use approxdd_circuit::Circuit;
 use approxdd_complex::Cplx;
-use approxdd_sim::{Engine, SimStats, SimulatorBuilder};
+use approxdd_sim::{Engine, SimSnapshot, SimStats, SimulatorBuilder};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ExecError>;
@@ -396,6 +396,19 @@ pub trait BuildBackend {
     /// as the engine-polymorphic [`AnyBackend`]. This is what pooled
     /// execution calls, so `.engine(…)` routes every worker.
     fn build_engine_backend(self) -> AnyBackend;
+
+    /// Like [`BuildBackend::build_engine_backend`], but layers DD-based
+    /// engines over a shared frozen [`SimSnapshot`] when one is given:
+    /// warmed gate DDs resolve from the snapshot and the package
+    /// allocates only above the frozen watermark. The stabilizer
+    /// engine has no DD package, so it ignores the snapshot; `None`
+    /// behaves exactly like [`BuildBackend::build_engine_backend`].
+    /// This is the per-job constructor pooled workers call when the
+    /// template has `share_snapshot(true)`.
+    fn build_engine_backend_with_snapshot(
+        self,
+        snapshot: Option<std::sync::Arc<SimSnapshot>>,
+    ) -> AnyBackend;
 }
 
 impl BuildBackend for SimulatorBuilder {
@@ -415,6 +428,28 @@ impl BuildBackend for SimulatorBuilder {
             // Engine is non-exhaustive; unknown engines run on the DD
             // reference implementation.
             _ => AnyBackend::Dd(DdBackend::new(self.build())),
+        }
+    }
+
+    fn build_engine_backend_with_snapshot(
+        self,
+        snapshot: Option<std::sync::Arc<SimSnapshot>>,
+    ) -> AnyBackend {
+        let Some(snapshot) = snapshot else {
+            return self.build_engine_backend();
+        };
+        match self.engine_kind() {
+            Engine::Stabilizer => {
+                AnyBackend::Stabilizer(StabilizerBackend::with_seed(self.sample_seed()))
+            }
+            Engine::Hybrid => {
+                let seed = self.sample_seed();
+                AnyBackend::Hybrid(HybridBackend::with_seed(
+                    self.build_with_snapshot(snapshot),
+                    seed,
+                ))
+            }
+            _ => AnyBackend::Dd(DdBackend::new(self.build_with_snapshot(snapshot))),
         }
     }
 }

@@ -8,10 +8,11 @@
 use std::sync::Arc;
 
 use approxdd_circuit::noise::NoiseModel;
+use approxdd_circuit::Circuit;
 
 use crate::options::{ApproxPrimitive, Engine, SimOptions, Strategy};
 use crate::policy::{PolicyFactory, SharedObserver, SimObserver};
-use crate::simulator::{Simulator, DEFAULT_SAMPLE_SEED};
+use crate::simulator::{SimSnapshot, Simulator, DEFAULT_SAMPLE_SEED};
 
 /// Builder for [`Simulator`] — the canonical way to configure a run.
 ///
@@ -43,6 +44,7 @@ pub struct SimulatorBuilder {
     observers: Vec<SharedObserver>,
     noise: Option<NoiseModel>,
     engine: Engine,
+    share_snapshot: bool,
 }
 
 impl std::fmt::Debug for SimulatorBuilder {
@@ -55,6 +57,7 @@ impl std::fmt::Debug for SimulatorBuilder {
             .field("observers", &self.observers.len())
             .field("noise", &self.noise.is_some())
             .field("engine", &self.engine)
+            .field("share_snapshot", &self.share_snapshot)
             .finish()
     }
 }
@@ -70,6 +73,7 @@ impl SimulatorBuilder {
             observers: Vec::new(),
             noise: None,
             engine: Engine::Dd,
+            share_snapshot: false,
         }
     }
 
@@ -264,6 +268,45 @@ impl SimulatorBuilder {
         self.engine
     }
 
+    /// Enables copy-on-write package snapshots for pooled execution
+    /// (off by default). When on, a pool built from this template
+    /// freezes the batch's gate DDs **once** into a [`SimSnapshot`] and
+    /// every worker job layers a private delta package over that shared
+    /// frozen prefix instead of rebuilding the gates from scratch.
+    ///
+    /// Results are byte-identical either way — the snapshot pins the
+    /// canonicalization history the jobs would have built themselves —
+    /// so this is a pure amortization knob for batches that repeat a
+    /// circuit family. Plain [`SimulatorBuilder::build`] ignores it
+    /// (a single simulator has nothing to share); the stabilizer
+    /// engine, which has no DD package, ignores it too.
+    pub fn share_snapshot(mut self, share: bool) -> Self {
+        self.share_snapshot = share;
+        self
+    }
+
+    /// Whether pooled execution should share a frozen package snapshot
+    /// across worker jobs (see [`SimulatorBuilder::share_snapshot`]).
+    #[must_use]
+    pub fn share_snapshot_enabled(&self) -> bool {
+        self.share_snapshot
+    }
+
+    /// Builds a frozen [`SimSnapshot`] warming every gate of the given
+    /// circuits with this builder's options — what pools call once per
+    /// submission when [`SimulatorBuilder::share_snapshot`] is on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gate-construction errors from the first offending
+    /// operation.
+    pub fn build_snapshot<'a>(
+        &self,
+        circuits: impl IntoIterator<Item = &'a Circuit>,
+    ) -> crate::Result<SimSnapshot> {
+        SimSnapshot::build(&self.options, circuits)
+    }
+
     /// The worker-thread count a pool built from this builder will use:
     /// the clamped [`SimulatorBuilder::workers`] value, or
     /// [`std::thread::available_parallelism`] (minimum 1) when the knob
@@ -301,6 +344,36 @@ impl SimulatorBuilder {
             Some(seed) => Simulator::seeded(self.options, seed),
             None => Simulator::new(self.options),
         };
+        sim.set_policy_factory(factory);
+        for observer in self.observers {
+            sim.attach_observer(observer);
+        }
+        sim
+    }
+
+    /// Like [`SimulatorBuilder::build`], but layers the simulator over
+    /// a shared frozen snapshot: warmed gate DDs resolve from the
+    /// snapshot's cache and the package allocates only above the frozen
+    /// watermark. Used by pool workers when
+    /// [`SimulatorBuilder::share_snapshot`] is enabled.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use approxdd_sim::Simulator;
+    ///
+    /// let circuit = approxdd_circuit::generators::ghz(4);
+    /// let builder = Simulator::builder().seed(11);
+    /// let snapshot = Arc::new(builder.build_snapshot([&circuit]).unwrap());
+    /// let mut sim = builder.build_with_snapshot(snapshot);
+    /// let run = sim.run(&circuit).unwrap();
+    /// assert!(sim.snapshot_gate_hits() > 0);
+    /// assert!((run.stats.fidelity - 1.0).abs() < 1e-12);
+    /// ```
+    #[must_use = "building a simulator has no side effects"]
+    pub fn build_with_snapshot(self, snapshot: Arc<SimSnapshot>) -> Simulator {
+        let factory = self.policy_factory_or_preset();
+        let seed = self.seed.unwrap_or(DEFAULT_SAMPLE_SEED);
+        let mut sim = Simulator::with_snapshot(self.options, seed, snapshot);
         sim.set_policy_factory(factory);
         for observer in self.observers {
             sim.attach_observer(observer);
@@ -398,6 +471,35 @@ mod tests {
             Simulator::builder().sample_seed(),
             crate::DEFAULT_SAMPLE_SEED
         );
+    }
+
+    #[test]
+    fn share_snapshot_knob_round_trips() {
+        assert!(!Simulator::builder().share_snapshot_enabled());
+        let b = Simulator::builder().share_snapshot(true);
+        assert!(b.share_snapshot_enabled());
+        // The knob survives cloning into pool templates.
+        assert!(b.clone().share_snapshot_enabled());
+        assert!(!b.share_snapshot(false).share_snapshot_enabled());
+    }
+
+    #[test]
+    fn snapshot_build_matches_plain_build() {
+        let circuit = generators::qft(5);
+        let builder = Simulator::builder().seed(3);
+        let snapshot = Arc::new(builder.build_snapshot([&circuit]).unwrap());
+        assert!(snapshot.frozen_nodes() > 0);
+
+        let mut plain = builder.clone().build();
+        let mut layered = builder.build_with_snapshot(snapshot);
+        let run_p = plain.run(&circuit).unwrap();
+        let run_l = layered.run(&circuit).unwrap();
+        assert_eq!(run_p.stats.max_dd_size, run_l.stats.max_dd_size);
+        assert!(layered.snapshot_gate_hits() > 0);
+        // Same seed, same state: sampling draws stay aligned.
+        for _ in 0..8 {
+            assert_eq!(plain.draw(&run_p), layered.draw(&run_l));
+        }
     }
 
     #[test]

@@ -45,6 +45,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod builder;
 mod error;
 mod fusion;
@@ -62,7 +64,7 @@ pub use policy::{
     TraceEvent, TraceRecorder,
 };
 pub use schedule::plan_rounds;
-pub use simulator::{RunResult, SimStats, Simulator, DEFAULT_SAMPLE_SEED};
+pub use simulator::{RunResult, SimSnapshot, SimStats, Simulator, DEFAULT_SAMPLE_SEED};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

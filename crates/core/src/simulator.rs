@@ -6,7 +6,7 @@ use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 use approxdd_circuit::{Circuit, Operation};
-use approxdd_dd::{MEdge, Package, RemovalStrategy, VEdge};
+use approxdd_dd::{MEdge, Package, PackageSnapshot, RemovalStrategy, VEdge};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -156,6 +156,71 @@ enum TableGuard {
     Dense(#[allow(dead_code)] std::sync::Arc<Vec<approxdd_complex::Cplx>>),
 }
 
+/// A frozen simulator prefix shared across pooled workers: an immutable
+/// [`PackageSnapshot`] (the gate DDs' nodes, unique-table index and
+/// canonical ratios) plus the warmed gate-DD cache that maps circuit
+/// operations onto frozen edges.
+///
+/// Built once per job batch by [`SimSnapshot::build`] (usually through
+/// `BackendPool` when [`SimulatorBuilder::share_snapshot`] is on), then
+/// handed to every worker job via `Arc`. A simulator layered over a
+/// snapshot ([`SimulatorBuilder::build_with_snapshot`]) resolves warmed
+/// gates from the frozen cache without touching its own package;
+/// everything else — state evolution, compute caches, GC — stays
+/// private to the job, which is what keeps results byte-identical to a
+/// simulator that built the same gates itself.
+#[derive(Debug)]
+pub struct SimSnapshot {
+    package: PackageSnapshot,
+    gates: HashMap<GateKey, (MEdge, Option<TableGuard>)>,
+}
+
+impl SimSnapshot {
+    /// Warms the gate-DD cache over every gate of every circuit (in
+    /// iteration order — the same order a lazy simulator would build
+    /// them for each circuit) and freezes the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gate-construction errors (e.g. malformed
+    /// permutations) from the first offending operation.
+    pub fn build<'a>(
+        options: &SimOptions,
+        circuits: impl IntoIterator<Item = &'a Circuit>,
+    ) -> Result<Self> {
+        let mut sim = Simulator::seeded(*options, DEFAULT_SAMPLE_SEED);
+        for circuit in circuits {
+            for op in circuit.ops() {
+                if op.is_gate() {
+                    sim.gate_dd(circuit, op)?;
+                }
+            }
+        }
+        Ok(Self {
+            package: sim.package.freeze(),
+            gates: sim.gate_cache,
+        })
+    }
+
+    /// Gate DDs held in the frozen cache.
+    #[must_use]
+    pub fn cached_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Alive nodes (both kinds) in the frozen package prefix.
+    #[must_use]
+    pub fn frozen_nodes(&self) -> usize {
+        self.package.frozen_nodes()
+    }
+
+    /// The frozen package prefix itself.
+    #[must_use]
+    pub fn package(&self) -> &PackageSnapshot {
+        &self.package
+    }
+}
+
 /// A DD-based quantum circuit simulator with policy-controlled
 /// approximation (see the crate docs for the paper's two preset
 /// strategies and [`crate::ApproxPolicy`] for the extensible seam).
@@ -170,6 +235,12 @@ pub struct Simulator {
     package: Package,
     options: SimOptions,
     gate_cache: HashMap<GateKey, (MEdge, Option<TableGuard>)>,
+    /// Shared frozen prefix, when this simulator was built over one
+    /// ([`SimulatorBuilder::build_with_snapshot`]). Probed before the
+    /// private gate cache.
+    snapshot: Option<Arc<SimSnapshot>>,
+    /// Gate-DD lookups served by the frozen snapshot cache.
+    snapshot_gate_hits: u64,
     rng: StdRng,
     policy_factory: Arc<dyn PolicyFactory>,
     observers: Vec<SharedObserver>,
@@ -217,8 +288,41 @@ impl Simulator {
             observers: Vec::new(),
             options,
             gate_cache: HashMap::new(),
+            snapshot: None,
+            snapshot_gate_hits: 0,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Creates a simulator layered over a shared frozen snapshot: its
+    /// package resolves frozen nodes through the snapshot and allocates
+    /// private nodes above the watermark, and warmed gate DDs are
+    /// served from the snapshot's cache. See [`SimSnapshot`].
+    #[must_use]
+    pub fn with_snapshot(options: SimOptions, seed: u64, snapshot: Arc<SimSnapshot>) -> Self {
+        Self {
+            package: Package::with_snapshot(snapshot.package(), options.compute_cache_bits),
+            policy_factory: Arc::new(options.strategy),
+            observers: Vec::new(),
+            options,
+            gate_cache: HashMap::new(),
+            snapshot: Some(snapshot),
+            snapshot_gate_hits: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether this simulator runs over a shared frozen snapshot.
+    #[must_use]
+    pub fn has_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Gate-DD lookups served by the frozen snapshot cache (0 without
+    /// a snapshot).
+    #[must_use]
+    pub fn snapshot_gate_hits(&self) -> u64 {
+        self.snapshot_gate_hits
     }
 
     /// Replaces the approximation-policy factory. Each run builds a
@@ -570,8 +674,11 @@ impl Simulator {
     }
 
     fn maybe_gc(&mut self) {
-        let alive = self.package.alive_vnodes() + self.package.alive_mnodes();
-        if alive > self.options.gc_node_threshold {
+        // Count only collectable (delta-layer) nodes: a large frozen
+        // snapshot prefix is pinned and sweeping can never reclaim it,
+        // so it must not drive the trigger. Without a snapshot this is
+        // exactly the total alive count.
+        if self.package.collectable_nodes() > self.options.gc_node_threshold {
             self.package.collect_garbage();
         }
     }
@@ -609,6 +716,16 @@ impl Simulator {
                 unreachable!("markers are not gates")
             }
         };
+        // Frozen-first: a snapshot-warmed gate is served without
+        // touching the private package. The edge's nodes sit below the
+        // arena watermark, pinned for the snapshot's lifetime — no
+        // per-simulator GC root needed.
+        if let Some(snap) = &self.snapshot {
+            if let Some(&(e, _)) = snap.gates.get(&key) {
+                self.snapshot_gate_hits += 1;
+                return Ok(e);
+            }
+        }
         if let Some(&(e, _)) = self.gate_cache.get(&key) {
             return Ok(e);
         }
@@ -642,14 +759,19 @@ impl Simulator {
         Ok(edge)
     }
 
-    /// Number of gate DDs currently held in the per-simulator cache
-    /// (pool worker statistics report this per backend instance).
+    /// Number of gate DDs currently resolvable from this simulator's
+    /// caches — the private cache plus, when layered over a snapshot,
+    /// the frozen cache (pool worker statistics report this per
+    /// backend instance).
     #[must_use]
     pub fn gate_cache_len(&self) -> usize {
-        self.gate_cache.len()
+        let frozen = self.snapshot.as_ref().map_or(0, |s| s.gates.len());
+        frozen + self.gate_cache.len()
     }
 
-    /// Drops all cached gate DDs (releasing their GC roots).
+    /// Drops all privately cached gate DDs (releasing their GC roots).
+    /// Frozen snapshot gates are unaffected: they are pinned by the
+    /// watermark, not by roots.
     pub fn clear_gate_cache(&mut self) {
         let edges: Vec<MEdge> = self.gate_cache.drain().map(|(_, (e, _))| e).collect();
         for e in edges {
@@ -879,6 +1001,37 @@ mod tests {
                 circuit: 4
             })
         ));
+    }
+
+    #[test]
+    fn snapshot_run_matches_plain_run_bitwise() {
+        let circuits = [generators::qft(5), generators::ghz(6)];
+        let options = SimOptions::default();
+        let snapshot = Arc::new(SimSnapshot::build(&options, circuits.iter()).unwrap());
+        assert!(snapshot.cached_gates() > 0);
+        assert!(snapshot.frozen_nodes() > 0);
+        for circuit in &circuits {
+            let mut plain = Simulator::seeded(options, 7);
+            let want = plain.run(circuit).unwrap();
+            let want_amps = plain.amplitudes(&want).unwrap();
+
+            let mut snap = Simulator::with_snapshot(options, 7, Arc::clone(&snapshot));
+            assert!(snap.has_snapshot());
+            let got = snap.run(circuit).unwrap();
+            let got_amps = snap.amplitudes(&got).unwrap();
+            for (g, w) in got_amps.iter().zip(&want_amps) {
+                assert_eq!(g.re.to_bits(), w.re.to_bits(), "{}", circuit.name());
+                assert_eq!(g.im.to_bits(), w.im.to_bits(), "{}", circuit.name());
+            }
+            assert!(
+                snap.snapshot_gate_hits() > 0,
+                "every gate was warmed, so every lookup must hit the frozen cache"
+            );
+            assert_eq!(
+                snap.package().stats().frozen_nodes(),
+                snapshot.frozen_nodes()
+            );
+        }
     }
 
     #[test]

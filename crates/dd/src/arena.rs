@@ -1,5 +1,5 @@
 //! Struct-of-arrays slotted arena with free list, reference counts and
-//! GC marks.
+//! GC marks, optionally layered over an immutable frozen prefix.
 //!
 //! Nodes are identified by `u32` slot indices ([`crate::NodeId`]). The
 //! reference count only tracks *external* roots (state vectors, cached
@@ -14,6 +14,20 @@
 //! bytes through the cache, and the GC phases become word-wide:
 //! clearing marks is a `memset`, and the sweep skips 64 slots at a time
 //! wherever `alive & !mark` is zero.
+//!
+//! # Copy-on-write snapshots
+//!
+//! An arena can be built over a [`FrozenArena`]: an `Arc`-shared,
+//! immutable prefix of slots whose ids index strictly below a
+//! **watermark**. The private delta layer allocates at or above the
+//! watermark, so a frozen node id means the same payload in every
+//! arena sharing the prefix. Frozen slots are permanently pinned:
+//! `inc_rc`/`dec_rc` are no-ops below the watermark, `mark` reports
+//! them as already visited (frozen nodes never point into the delta,
+//! so the mark phase need not descend past the watermark), and `sweep`
+//! scans only the delta words — a frozen node can never be freed.
+
+use std::sync::Arc;
 
 /// A packed bitset over slot indices, one bit per slot.
 #[derive(Debug, Clone, Default)]
@@ -53,26 +67,58 @@ impl BitSet {
     }
 }
 
+/// The immutable frozen prefix of an [`Arena`]: slot payloads and
+/// aliveness for ids below the watermark, shared across arenas via
+/// `Arc`. Built once by [`Arena::freeze`]; never mutated afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct FrozenArena<T> {
+    items: Vec<T>,
+    alive: BitSet,
+    alive_count: usize,
+}
+
+impl<T> FrozenArena<T> {
+    /// Alive slots in the frozen prefix.
+    pub(crate) fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Total frozen slots — the watermark of every delta arena layered
+    /// over this prefix.
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Arena<T> {
-    /// Node payloads (SoA: nothing but payload bytes on the hot path).
+    /// Immutable shared prefix (ids below `watermark`), if any.
+    frozen: Option<Arc<FrozenArena<T>>>,
+    /// First id owned by the delta layer. 0 without a frozen prefix.
+    watermark: u32,
+    /// Delta node payloads (SoA: nothing but payload bytes on the hot
+    /// path); slot `i` holds id `watermark + i`.
     items: Vec<T>,
     /// External-root reference counts, parallel to `items`.
     rc: Vec<u32>,
-    /// One bit per slot: is the slot currently allocated?
+    /// One bit per delta slot: is the slot currently allocated?
     alive: BitSet,
-    /// One bit per slot: GC mark (valid between `clear_marks` and
+    /// One bit per delta slot: GC mark (valid between `clear_marks` and
     /// `sweep`).
     mark: BitSet,
+    /// Freed delta slots, as absolute ids (always ≥ `watermark`).
     free: Vec<u32>,
+    /// Alive delta slots (excludes the frozen prefix).
     alive_count: usize,
-    /// High-water mark of simultaneously alive nodes.
+    /// High-water mark of simultaneously alive delta nodes.
     peak: usize,
 }
 
 impl<T> Arena<T> {
     pub(crate) fn new() -> Self {
         Self {
+            frozen: None,
+            watermark: 0,
             items: Vec::new(),
             rc: Vec::new(),
             alive: BitSet::default(),
@@ -83,12 +129,64 @@ impl<T> Arena<T> {
         }
     }
 
-    /// Allocates a slot for `item`, reusing a freed slot when available.
+    /// An empty delta arena layered over a shared frozen prefix. Every
+    /// id below the prefix length resolves into the shared payloads;
+    /// allocation starts at the watermark.
+    pub(crate) fn with_frozen(frozen: Arc<FrozenArena<T>>) -> Self {
+        let watermark = u32::try_from(frozen.len())
+            .ok()
+            .filter(|&w| w < u32::MAX - 1)
+            .expect("frozen prefix exceeds u32 slot capacity");
+        Self {
+            frozen: Some(frozen),
+            watermark,
+            items: Vec::new(),
+            rc: Vec::new(),
+            alive: BitSet::default(),
+            mark: BitSet::default(),
+            free: Vec::new(),
+            alive_count: 0,
+            peak: 0,
+        }
+    }
+
+    /// Converts this arena into a frozen prefix. Freed slots stay dead
+    /// (they are never resurrected: delta layers allocate only above
+    /// the watermark), and reference counts are dropped — frozen slots
+    /// are pinned by construction.
+    ///
+    /// Only a base arena can be frozen; re-freezing an arena that
+    /// already layers over a prefix would need a merge and is not
+    /// supported.
+    pub(crate) fn freeze(self) -> FrozenArena<T> {
+        assert!(
+            self.frozen.is_none(),
+            "cannot freeze an arena layered over an existing snapshot"
+        );
+        FrozenArena {
+            items: self.items,
+            alive: self.alive,
+            alive_count: self.alive_count,
+        }
+    }
+
+    /// First id owned by the delta layer (0 without a frozen prefix).
+    pub(crate) fn watermark(&self) -> u32 {
+        self.watermark
+    }
+
+    /// Alive slots in the frozen prefix (0 without one).
+    pub(crate) fn frozen_count(&self) -> usize {
+        self.frozen.as_ref().map_or(0, |f| f.alive_count)
+    }
+
+    /// Allocates a slot for `item`, reusing a freed delta slot when
+    /// available. Never allocates below the watermark.
     pub(crate) fn alloc(&mut self, item: T) -> u32 {
         self.alive_count += 1;
         self.peak = self.peak.max(self.alive_count);
         if let Some(idx) = self.free.pop() {
-            let i = idx as usize;
+            let i = (idx - self.watermark) as usize;
             self.items[i] = item;
             self.rc[i] = 0;
             self.alive.set(i);
@@ -99,11 +197,12 @@ impl<T> Arena<T> {
             // unique-table sentinel; stay strictly below both.
             let idx = u32::try_from(self.items.len())
                 .ok()
+                .and_then(|i| i.checked_add(self.watermark))
                 .filter(|&i| i < u32::MAX - 1)
                 .expect("arena exceeded u32 slot capacity");
             self.items.push(item);
             self.rc.push(0);
-            let i = idx as usize;
+            let i = (idx - self.watermark) as usize;
             self.alive.ensure(i);
             self.mark.ensure(i);
             self.alive.set(i);
@@ -113,78 +212,119 @@ impl<T> Arena<T> {
 
     #[inline]
     pub(crate) fn get(&self, idx: u32) -> &T {
-        debug_assert!(
-            self.alive.get(idx as usize),
-            "access to freed arena slot {idx}"
-        );
-        &self.items[idx as usize]
+        if idx < self.watermark {
+            let frozen = self.frozen.as_ref().expect("watermark implies a prefix");
+            debug_assert!(
+                frozen.alive.get(idx as usize),
+                "access to dead frozen slot {idx}"
+            );
+            &frozen.items[idx as usize]
+        } else {
+            let i = (idx - self.watermark) as usize;
+            debug_assert!(self.alive.get(i), "access to freed arena slot {idx}");
+            &self.items[i]
+        }
     }
 
+    /// Pins a slot as an external root. No-op below the watermark:
+    /// frozen slots are permanently pinned.
     pub(crate) fn inc_rc(&mut self, idx: u32) {
-        debug_assert!(self.alive.get(idx as usize));
-        self.rc[idx as usize] += 1;
+        if idx < self.watermark {
+            return;
+        }
+        let i = (idx - self.watermark) as usize;
+        debug_assert!(self.alive.get(i));
+        self.rc[i] += 1;
     }
 
+    /// Releases one external root. No-op below the watermark.
     pub(crate) fn dec_rc(&mut self, idx: u32) {
-        debug_assert!(self.alive.get(idx as usize));
-        debug_assert!(
-            self.rc[idx as usize] > 0,
-            "rc underflow on arena slot {idx}"
-        );
-        let rc = &mut self.rc[idx as usize];
+        if idx < self.watermark {
+            return;
+        }
+        let i = (idx - self.watermark) as usize;
+        debug_assert!(self.alive.get(i));
+        debug_assert!(self.rc[i] > 0, "rc underflow on arena slot {idx}");
+        let rc = &mut self.rc[i];
         *rc = rc.saturating_sub(1);
     }
 
     #[allow(dead_code)] // diagnostics / debug assertions
     pub(crate) fn rc(&self, idx: u32) -> u32 {
-        self.rc[idx as usize]
+        if idx < self.watermark {
+            // Frozen slots are pinned; report one permanent root.
+            1
+        } else {
+            self.rc[(idx - self.watermark) as usize]
+        }
     }
 
+    /// Alive slots across both tiers (frozen prefix + delta).
     pub(crate) fn alive_count(&self) -> usize {
+        self.frozen_count() + self.alive_count
+    }
+
+    /// Alive slots in the delta layer only — what a GC pass can
+    /// actually inspect and free.
+    pub(crate) fn delta_alive_count(&self) -> usize {
         self.alive_count
     }
 
     pub(crate) fn peak_count(&self) -> usize {
-        self.peak
+        self.frozen_count() + self.peak
     }
 
-    /// Total slots (alive + freed), i.e. the arena's memory footprint.
+    /// Total slots (alive + freed) across both tiers, i.e. the arena's
+    /// addressable footprint.
     #[allow(dead_code)] // diagnostics
     pub(crate) fn capacity(&self) -> usize {
-        self.items.len()
+        self.watermark as usize + self.items.len()
     }
 
-    /// Clears all marks (one memset over the mark words). Pair with
-    /// [`Arena::mark`] and [`Arena::sweep`].
+    /// Clears all delta marks (one memset over the mark words). Pair
+    /// with [`Arena::mark`] and [`Arena::sweep`].
     pub(crate) fn clear_marks(&mut self) {
         self.mark.clear_all();
     }
 
-    /// Marks a slot; returns whether this was the first visit.
+    /// Marks a slot; returns whether this was the first visit. Frozen
+    /// slots report `false` (never a first visit): they are always
+    /// reachable and never point into the delta, so the mark phase
+    /// stops at the watermark.
     pub(crate) fn mark(&mut self, idx: u32) -> bool {
-        debug_assert!(self.alive.get(idx as usize));
-        let was = self.mark.get(idx as usize);
-        self.mark.set(idx as usize);
+        if idx < self.watermark {
+            return false;
+        }
+        let i = (idx - self.watermark) as usize;
+        debug_assert!(self.alive.get(i));
+        let was = self.mark.get(i);
+        self.mark.set(i);
         !was
     }
 
     pub(crate) fn is_marked(&self, idx: u32) -> bool {
-        self.mark.get(idx as usize)
+        if idx < self.watermark {
+            return true;
+        }
+        self.mark.get((idx - self.watermark) as usize)
     }
 
-    /// Iterates the indices of alive slots with a positive reference
-    /// count (the GC roots).
+    /// Iterates the absolute ids of alive delta slots with a positive
+    /// reference count (the GC roots). The frozen prefix never appears:
+    /// it is pinned wholesale, not rooted.
     pub(crate) fn rooted_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        let watermark = self.watermark;
         self.rc
             .iter()
             .enumerate()
             .filter(|&(i, &rc)| rc > 0 && self.alive.get(i))
-            .map(|(i, _)| i as u32)
+            .map(move |(i, _)| i as u32 + watermark)
     }
 
-    /// Frees every alive-but-unmarked slot, invoking `on_free` for each
-    /// (so the caller can drop unique-table entries). Returns the number
-    /// of freed slots.
+    /// Frees every alive-but-unmarked **delta** slot, invoking `on_free`
+    /// with absolute ids (so the caller can drop unique-table entries).
+    /// Returns the number of freed slots. The frozen prefix is never
+    /// scanned — the watermark is the sweep's hard floor.
     ///
     /// The scan is word-wide: 64 slots whose `alive & !mark` word is
     /// zero are skipped with a single compare.
@@ -199,10 +339,10 @@ impl<T> Arena<T> {
                 let bit = dead.trailing_zeros() as usize;
                 dead &= dead - 1;
                 let i = w * 64 + bit;
-                on_free(i as u32, &self.items[i]);
+                on_free(i as u32 + self.watermark, &self.items[i]);
                 self.alive.words[w] &= !(1u64 << bit);
                 self.rc[i] = 0;
-                self.free.push(i as u32);
+                self.free.push(i as u32 + self.watermark);
                 freed += 1;
             }
         }
@@ -277,6 +417,70 @@ mod tests {
         assert!(a.mark(x));
         assert!(!a.mark(x));
         assert!(a.is_marked(x));
+    }
+
+    #[test]
+    fn frozen_prefix_resolves_below_watermark_and_allocs_above() {
+        let mut base: Arena<u64> = Arena::new();
+        for i in 0..10 {
+            base.alloc(i * 100);
+        }
+        let frozen = Arc::new(base.freeze());
+        let mut delta: Arena<u64> = Arena::with_frozen(Arc::clone(&frozen));
+        assert_eq!(delta.watermark(), 10);
+        assert_eq!(delta.frozen_count(), 10);
+        assert_eq!(delta.alive_count(), 10);
+        assert_eq!(*delta.get(3), 300);
+
+        let id = delta.alloc(7777);
+        assert!(id >= delta.watermark(), "delta alloc below the watermark");
+        assert_eq!(*delta.get(id), 7777);
+        assert_eq!(delta.alive_count(), 11);
+        assert_eq!(delta.delta_alive_count(), 1);
+
+        // Two deltas over the same prefix see the same frozen payloads.
+        let other: Arena<u64> = Arena::with_frozen(frozen);
+        assert_eq!(*other.get(3), 300);
+    }
+
+    #[test]
+    fn sweep_never_frees_frozen_slots() {
+        let mut base: Arena<u64> = Arena::new();
+        for i in 0..70 {
+            base.alloc(i); // spans a word boundary
+        }
+        let frozen = Arc::new(base.freeze());
+        let mut delta: Arena<u64> = Arena::with_frozen(frozen);
+        let a = delta.alloc(1000);
+        let b = delta.alloc(2000);
+        delta.inc_rc(a);
+        // Frozen rc ops are pinned no-ops.
+        delta.inc_rc(5);
+        delta.dec_rc(5);
+        assert_eq!(delta.rc(5), 1);
+
+        delta.clear_marks();
+        assert!(delta.is_marked(5), "frozen slots read as already marked");
+        assert!(!delta.mark(5), "marking a frozen slot is never first visit");
+        let roots: Vec<u32> = delta.rooted_indices().collect();
+        assert_eq!(roots, vec![a]);
+        for r in roots {
+            delta.mark(r);
+        }
+        let mut swept = Vec::new();
+        let freed = delta.sweep(|idx, _| swept.push(idx));
+        assert_eq!(freed, 1);
+        assert_eq!(swept, vec![b]);
+        assert!(swept.iter().all(|&i| i >= delta.watermark()));
+        // Frozen payloads and the rooted delta node survive.
+        assert_eq!(*delta.get(42), 42);
+        assert_eq!(*delta.get(a), 1000);
+        assert_eq!(delta.alive_count(), 71);
+
+        // The freed delta slot is reused at the same absolute id.
+        let c = delta.alloc(3000);
+        assert_eq!(c, b);
+        assert_eq!(*delta.get(c), 3000);
     }
 
     #[test]

@@ -101,6 +101,16 @@ impl Package {
     pub fn alive_mnodes(&self) -> usize {
         self.mnodes.alive_count()
     }
+
+    /// Alive nodes a GC pass can actually inspect and free: everything
+    /// in the private delta layer. Without a snapshot this equals
+    /// `alive_vnodes() + alive_mnodes()`; with one, the pinned frozen
+    /// prefix is excluded so a large snapshot does not drive the GC
+    /// trigger by its mere presence.
+    #[must_use]
+    pub fn collectable_nodes(&self) -> usize {
+        self.vnodes.delta_alive_count() + self.mnodes.delta_alive_count()
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,7 @@ mod ops;
 mod package;
 mod sample;
 mod serialize;
+mod snapshot;
 mod unique;
 
 pub use approx::{RemovalStrategy, TruncationResult};
@@ -123,6 +124,7 @@ pub use error::DdError;
 pub use gates::GateKind;
 pub use gc::GcStats;
 pub use package::{Package, PackageStats};
+pub use snapshot::PackageSnapshot;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, DdError>;

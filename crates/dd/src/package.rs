@@ -101,6 +101,14 @@ pub struct PackageStats {
     pub gc_runs: u64,
     /// Total nodes reclaimed by garbage collection.
     pub gc_freed: u64,
+    /// Alive vector nodes in the frozen snapshot prefix (0 without a
+    /// snapshot).
+    pub frozen_vnodes: usize,
+    /// Alive matrix nodes in the frozen snapshot prefix.
+    pub frozen_mnodes: usize,
+    /// Unique-table hits that resolved to a frozen snapshot node
+    /// (a subset of `unique_hits`; 0 without a snapshot).
+    pub snapshot_hits: u64,
 }
 
 impl PackageStats {
@@ -137,6 +145,35 @@ impl PackageStats {
     pub fn peak_nodes(&self) -> usize {
         self.vnodes_peak + self.mnodes_peak
     }
+
+    /// Alive nodes of both kinds in the frozen snapshot prefix.
+    #[must_use]
+    pub fn frozen_nodes(&self) -> usize {
+        self.frozen_vnodes + self.frozen_mnodes
+    }
+
+    /// Alive nodes of both kinds in the private delta layer (everything
+    /// alive when no snapshot is attached).
+    #[must_use]
+    pub fn delta_nodes(&self) -> usize {
+        (self.vnodes_alive + self.mnodes_alive).saturating_sub(self.frozen_nodes())
+    }
+
+    /// Fraction of unique-table lookups that resolved to a frozen
+    /// snapshot node (0 when no lookups happened or no snapshot is
+    /// attached).
+    #[must_use]
+    pub fn snapshot_hit_rate(&self) -> f64 {
+        let total = self.unique_hits + self.unique_misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.snapshot_hits as f64 / total as f64
+            }
+        }
+    }
 }
 
 /// The decision-diagram package: arena storage, unique tables for
@@ -157,11 +194,11 @@ impl PackageStats {
 /// ```
 #[derive(Debug)]
 pub struct Package {
-    tol: Tolerance,
+    pub(crate) tol: Tolerance,
     pub(crate) vnodes: Arena<VNode>,
     pub(crate) mnodes: Arena<MNode>,
-    vunique: UniqueTable,
-    munique: UniqueTable,
+    pub(crate) vunique: UniqueTable,
+    pub(crate) munique: UniqueTable,
     /// Canonicalization map for `add` weight ratios: tolerance bucket →
     /// the first exact ratio seen in that bucket. Near-equal ratios
     /// (the overwhelmingly common case — low-order float noise from
@@ -174,6 +211,10 @@ pub struct Package {
     /// repo needs it, at the single cache whose key involves computed
     /// weights. See `Package::add`.
     pub(crate) ratio_canon: crate::fasthash::FxHashMap<(i64, i64), Cplx>,
+    /// Immutable canonical-ratio tier of an attached snapshot, probed
+    /// before `ratio_canon` so frozen buckets keep their pinned
+    /// representatives (first-write-wins across the snapshot boundary).
+    pub(crate) ratio_frozen: Option<std::sync::Arc<crate::fasthash::FxHashMap<(i64, i64), Cplx>>>,
     pub(crate) ct_add: ComputeCache<(u32, u32, u64, u64), VEdge>,
     pub(crate) ct_mul_mv: ComputeCache<(u32, u32), VEdge>,
     pub(crate) ct_mul_mm: ComputeCache<(u32, u32), MEdge>,
@@ -231,6 +272,7 @@ impl Package {
             vunique: UniqueTable::new(),
             munique: UniqueTable::new(),
             ratio_canon: crate::fasthash::FxHashMap::default(),
+            ratio_frozen: None,
             ct_add: ComputeCache::new(bits, no_key4, VEdge::ZERO),
             ct_mul_mv: ComputeCache::new(bits, no_key2, VEdge::ZERO),
             ct_mul_mm: ComputeCache::new(bits, no_key2, MEdge::ZERO),
@@ -262,6 +304,8 @@ impl Package {
         s.ct_inner = self.ct_inner.stats();
         s.ct_hits = s.ct_add.hits + s.ct_mul_mv.hits + s.ct_mul_mm.hits + s.ct_inner.hits;
         s.ct_misses = s.ct_add.misses + s.ct_mul_mv.misses + s.ct_mul_mm.misses + s.ct_inner.misses;
+        s.frozen_vnodes = self.vnodes.frozen_count();
+        s.frozen_mnodes = self.mnodes.frozen_count();
         s
     }
 
@@ -354,6 +398,9 @@ impl Package {
         let id = match found {
             Some(id) => {
                 self.stats.unique_hits += 1;
+                if id < self.vnodes.watermark() {
+                    self.stats.snapshot_hits += 1;
+                }
                 id
             }
             None => {
@@ -426,6 +473,9 @@ impl Package {
         let id = match found {
             Some(id) => {
                 self.stats.unique_hits += 1;
+                if id < self.mnodes.watermark() {
+                    self.stats.snapshot_hits += 1;
+                }
                 id
             }
             None => {
@@ -681,10 +731,19 @@ impl Package {
         /// Entry cap of the ratio-canonicalization map (~8 MiB).
         const RATIO_CANON_CAP: usize = 1 << 18;
         if self.ratio_canon.len() >= RATIO_CANON_CAP {
+            // Only the private delta map resets: the frozen tier is a
+            // snapshot invariant shared with every sibling package.
             self.ratio_canon.clear();
             self.clear_compute_tables();
         }
         let rk = self.tol.key(ratio);
+        // Frozen buckets keep their pinned representatives so every
+        // package sharing the snapshot canonicalizes identically.
+        if let Some(frozen) = &self.ratio_frozen {
+            if let Some(&canonical) = frozen.get(&rk) {
+                return (rk, canonical);
+            }
+        }
         let canonical = *self.ratio_canon.entry(rk).or_insert(ratio);
         (rk, canonical)
     }

@@ -19,6 +19,16 @@
 //!   (The serial benchmarks build a fresh backend per row for the same
 //!   reason, so nothing is lost relative to the status quo.)
 //!
+//! Copy-on-write snapshots (`SimulatorBuilder::share_snapshot`)
+//! preserve both properties while amortizing the per-job rebuild: the
+//! batch's gate DDs are frozen **once, on the submitting thread, in
+//! input order** into a [`SimSnapshot`], and every worker job layers a
+//! private delta package over that shared immutable prefix. The frozen
+//! tier pins the canonicalization history a job would have built
+//! itself, so [`PoolOutcome::fingerprint`] stays byte-identical between
+//! snapshot-on and snapshot-off at any worker count — the contract
+//! suite asserts exactly that.
+//!
 //! Sharded sampling ([`BackendPool::sample_counts`]) splits the shot
 //! budget into fixed-size chunks of [`SHOT_CHUNK`] shots. Chunk `i`
 //! always draws with seed `stream(DOMAIN_SAMPLE, i)` and histogram
@@ -38,7 +48,8 @@ use approxdd_backend::{
 };
 use approxdd_circuit::Circuit;
 use approxdd_sim::{
-    PolicyFactory, SharedObserver, SimulatorBuilder, Strategy, TraceEvent, TraceRecorder,
+    Engine, PolicyFactory, SharedObserver, SimSnapshot, SimulatorBuilder, Strategy, TraceEvent,
+    TraceRecorder,
 };
 
 use crate::seed::{SeedStream, DOMAIN_RUN, DOMAIN_SAMPLE};
@@ -258,6 +269,16 @@ pub struct WorkerStats {
     /// Unique-table buckets in this worker's package after its last
     /// task.
     pub unique_capacity: usize,
+    /// Unique-table lookups served by a shared snapshot's frozen tier,
+    /// accumulated like [`WorkerStats::ct_hits`] (0 when the pool runs
+    /// without snapshots).
+    pub snapshot_hits: u64,
+    /// Gate-DD lookups served by a shared snapshot's frozen gate cache,
+    /// accumulated like [`WorkerStats::ct_hits`] (0 without snapshots).
+    pub snapshot_gate_hits: u64,
+    /// Alive nodes in the shared frozen prefix this worker's package
+    /// layers over (0 without a snapshot).
+    pub frozen_nodes: usize,
 }
 
 /// Aggregated pool statistics: wall time, queue pressure and the
@@ -328,6 +349,31 @@ impl PoolStats {
             .max()
             .unwrap_or(0)
     }
+
+    /// Unique-table lookups served by shared snapshots' frozen tiers,
+    /// summed over workers (0 when the pool runs without snapshots).
+    #[must_use]
+    pub fn snapshot_hits(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.snapshot_hits).sum()
+    }
+
+    /// Gate-DD lookups served by shared snapshots' frozen gate caches,
+    /// summed over workers (0 without snapshots).
+    #[must_use]
+    pub fn snapshot_gate_hits(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.snapshot_gate_hits).sum()
+    }
+
+    /// Alive nodes in the shared frozen prefix worker packages layer
+    /// over (the per-worker maximum; 0 without snapshots).
+    #[must_use]
+    pub fn frozen_nodes(&self) -> usize {
+        self.per_worker
+            .iter()
+            .map(|w| w.frozen_nodes)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Reply channel of a run job: `(job index, outcome)`.
@@ -340,6 +386,9 @@ enum Task {
         index: usize,
         job: PoolJob,
         seed: u64,
+        /// Shared frozen prefix for this job's backend, built once per
+        /// submission when the template enables `share_snapshot`.
+        snapshot: Option<Arc<SimSnapshot>>,
         reply: RunReply,
     },
     Sample {
@@ -366,10 +415,32 @@ enum Task {
 /// threads; results are invariant under worker count (see the module
 /// docs for the determinism contract).
 ///
+/// ```
+/// use approxdd_exec::BuildPool;
+/// use approxdd_circuit::generators;
+/// use approxdd_sim::Simulator;
+///
+/// # fn main() -> Result<(), approxdd_backend::ExecError> {
+/// // share_snapshot(true): gate DDs for the batch are frozen once and
+/// // shared across workers — same bits, less per-job rebuild work.
+/// let pool = Simulator::builder()
+///     .workers(2)
+///     .seed(7)
+///     .share_snapshot(true)
+///     .build_pool();
+/// let circuits = vec![generators::qft(6); 4];
+/// let outcomes = pool.run_batch(&circuits)?;
+/// assert_eq!(outcomes.len(), 4);
+/// assert!(pool.stats().snapshot_gate_hits() > 0);
+/// # Ok(())
+/// # }
+/// ```
+///
 /// Dropping the pool closes the queue and joins every worker.
 #[derive(Debug)]
 pub struct BackendPool {
     sender: Option<mpsc::Sender<Task>>,
+    template: SimulatorBuilder,
     handles: Vec<thread::JoinHandle<()>>,
     worker_stats: Vec<Arc<Mutex<WorkerStats>>>,
     queue_depth: Arc<AtomicUsize>,
@@ -427,6 +498,7 @@ impl BackendPool {
         }
         Self {
             sender: Some(sender),
+            template,
             handles,
             worker_stats,
             queue_depth,
@@ -497,6 +569,7 @@ impl BackendPool {
     #[must_use]
     pub fn run_jobs(&self, jobs: Vec<PoolJob>) -> Vec<Result<PoolOutcome, ExecError>> {
         let n = jobs.len();
+        let snapshot = self.batch_snapshot(&jobs);
         let (reply, results_rx) = mpsc::channel();
         for (index, job) in jobs.into_iter().enumerate() {
             let seed = self.seeds.seed(DOMAIN_RUN, index as u64);
@@ -504,6 +577,7 @@ impl BackendPool {
                 index,
                 job,
                 seed,
+                snapshot: snapshot.clone(),
                 reply: reply.clone(),
             });
         }
@@ -608,6 +682,26 @@ impl BackendPool {
         }
     }
 
+    /// Builds the batch's shared frozen snapshot, when the template
+    /// asks for one: every gate of every job circuit is warmed **on
+    /// this (submitting) thread, in input order**, so the frozen prefix
+    /// is a pure function of the job list — never of worker count or
+    /// scheduling. Returns `None` when snapshots are off, for the
+    /// pure-tableau engine (no DD package to share), or when warming
+    /// fails (the per-job run then reports the error in its own slot,
+    /// exactly as without snapshots).
+    fn batch_snapshot(&self, jobs: &[PoolJob]) -> Option<Arc<SimSnapshot>> {
+        if !self.template.share_snapshot_enabled()
+            || self.template.engine_kind() == Engine::Stabilizer
+        {
+            return None;
+        }
+        self.template
+            .build_snapshot(jobs.iter().map(PoolJob::circuit))
+            .ok()
+            .map(Arc::new)
+    }
+
     fn submit(&self, task: Task) {
         self.tasks_submitted.fetch_add(1, Ordering::Relaxed);
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
@@ -660,23 +754,29 @@ struct Worker {
     harvested_ct_hits: u64,
     harvested_ct_misses: u64,
     harvested_peak_nodes: usize,
+    harvested_snapshot_hits: u64,
+    harvested_snapshot_gate_hits: u64,
 }
 
 impl Worker {
     /// Replaces the backend with a fresh instance built from the
     /// template (plus an optional policy or strategy override — the
-    /// policy factory wins). Job isolation is the pool's determinism
-    /// linchpin — see the module docs.
+    /// policy factory wins), layered over the batch's shared frozen
+    /// snapshot when one was built. Job isolation is the pool's
+    /// determinism linchpin — see the module docs.
     fn fresh_backend(
         &mut self,
         strategy: Option<Strategy>,
         policy: Option<&Arc<dyn PolicyFactory>>,
+        snapshot: Option<Arc<SimSnapshot>>,
     ) {
         if let Some(pkg) = self.backend.package_stats() {
             self.harvested_ct_hits += pkg.ct_hits;
             self.harvested_ct_misses += pkg.ct_misses;
             self.harvested_peak_nodes = self.harvested_peak_nodes.max(pkg.peak_nodes());
+            self.harvested_snapshot_hits += pkg.snapshot_hits;
         }
+        self.harvested_snapshot_gate_hits += self.backend.snapshot_gate_hits();
         self.epoch = None; // handle dies with the old package
         let mut template = self.template.clone();
         if let Some(factory) = policy {
@@ -684,11 +784,16 @@ impl Worker {
         } else if let Some(strategy) = strategy {
             template = template.strategy(strategy);
         }
-        self.backend = template.build_engine_backend();
+        self.backend = template.build_engine_backend_with_snapshot(snapshot);
     }
 
-    fn run_job(&mut self, job: &PoolJob, seed: u64) -> Result<PoolOutcome, ExecError> {
-        self.fresh_backend(job.strategy, job.policy.as_ref());
+    fn run_job(
+        &mut self,
+        job: &PoolJob,
+        seed: u64,
+        snapshot: Option<Arc<SimSnapshot>>,
+    ) -> Result<PoolOutcome, ExecError> {
+        self.fresh_backend(job.strategy, job.policy.as_ref(), snapshot);
         let recorder = job.trace.then(|| {
             let recorder = TraceRecorder::shared();
             self.backend
@@ -743,7 +848,7 @@ impl Worker {
         seed: u64,
     ) -> Result<HashMap<u64, usize>, ExecError> {
         if self.epoch.as_ref().map(|(e, _)| *e) != Some(epoch) {
-            self.fresh_backend(strategy, None);
+            self.fresh_backend(strategy, None, None);
             let exe = self.backend.prepare(circuit)?;
             let outcome = self.backend.run(&exe)?;
             self.epoch = Some((epoch, outcome));
@@ -780,6 +885,8 @@ impl Worker {
             stats.ct_misses = self.harvested_ct_misses + pkg.ct_misses;
             stats.unique_len = pkg.unique_len;
             stats.unique_capacity = pkg.unique_capacity;
+            stats.snapshot_hits = self.harvested_snapshot_hits + pkg.snapshot_hits;
+            stats.frozen_nodes = pkg.frozen_nodes();
         } else {
             stats.alive_nodes = 0;
             stats.peak_nodes = self.harvested_peak_nodes;
@@ -787,7 +894,11 @@ impl Worker {
             stats.ct_misses = self.harvested_ct_misses;
             stats.unique_len = 0;
             stats.unique_capacity = 0;
+            stats.snapshot_hits = self.harvested_snapshot_hits;
+            stats.frozen_nodes = 0;
         }
+        stats.snapshot_gate_hits =
+            self.harvested_snapshot_gate_hits + self.backend.snapshot_gate_hits();
     }
 }
 
@@ -806,6 +917,8 @@ fn worker_loop(
         harvested_ct_hits: 0,
         harvested_ct_misses: 0,
         harvested_peak_nodes: 0,
+        harvested_snapshot_hits: 0,
+        harvested_snapshot_gate_hits: 0,
     };
     loop {
         // Hold the queue lock only for the dequeue, never while
@@ -824,10 +937,11 @@ fn worker_loop(
                 index,
                 job,
                 seed,
+                snapshot,
                 reply,
             } => {
                 let shots = job.shots;
-                let result = worker.run_job(&job, seed);
+                let result = worker.run_job(&job, seed, snapshot);
                 worker.note_task(
                     stats,
                     start.elapsed(),

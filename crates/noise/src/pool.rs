@@ -204,6 +204,15 @@ impl TrajectoryOutcome {
 /// `Simulator::builder().noise(model).workers(4).build_noise_pool()`
 /// (see [`BuildNoisePool`]) — and call [`NoisePool::run_trajectories`].
 ///
+/// Templates with `share_snapshot(true)` apply here unchanged:
+/// trajectory batches go through [`BackendPool::run_jobs`], which
+/// freezes the batch's gate DDs once and layers every trajectory's
+/// package over the shared prefix. Trajectories of one circuit share
+/// most of their gates (noise only inserts channel operations), so the
+/// amortization is usually even better than for plain batches, and the
+/// determinism contract is identical — trajectory outcomes are
+/// byte-identical with snapshots on or off.
+///
 /// # Examples
 ///
 /// ```
@@ -449,6 +458,32 @@ mod tests {
         assert!(outcome.observable_standard_error().is_some());
         assert!((0.0..=4.0).contains(&mean), "{mean}");
         assert!(outcome.records.iter().all(|r| r.observable.is_some()));
+    }
+
+    /// Trajectory batches ride through `BackendPool::run_jobs`, so the
+    /// snapshot determinism contract extends to noisy simulation:
+    /// byte-identical trajectory outcomes with snapshots on or off.
+    #[test]
+    fn snapshot_sharing_preserves_trajectory_fingerprints() {
+        let circuit = generators::ghz(5);
+        let cfg = TrajectoryConfig::new(6).shots(128);
+        let run = |share: bool, workers: usize| {
+            let pool = Simulator::builder()
+                .noise(small_model())
+                .seed(13)
+                .workers(workers)
+                .share_snapshot(share)
+                .build_noise_pool();
+            let outcome = pool.run_trajectories(&circuit, &cfg).expect("trajectories");
+            (outcome.fingerprint(), pool.stats().snapshot_gate_hits())
+        };
+        let (off, off_hits) = run(false, 2);
+        assert_eq!(off_hits, 0);
+        for workers in [1, 2, 8] {
+            let (on, on_hits) = run(true, workers);
+            assert_eq!(off, on, "fingerprints diverge at {workers} workers");
+            assert!(on_hits > 0, "snapshot unused");
+        }
     }
 
     #[test]

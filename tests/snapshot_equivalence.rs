@@ -1,0 +1,120 @@
+//! Snapshot equivalence: sharing a copy-on-write package snapshot
+//! across pool workers is a pure throughput optimization, so
+//! snapshot-on and snapshot-off runs must produce byte-identical
+//! [`PoolOutcome::fingerprint`]s at every worker count, and the
+//! delta-only GC must never free a node in the frozen tier.
+//!
+//! Why this holds: the snapshot is built on the submitting thread, in
+//! input order, as a pure function of the job list — it pins exactly
+//! the canonicalization history that per-job rebuilds would have
+//! produced. Frozen arena slots are pinned below the watermark
+//! (refcounts are no-ops, marks always read live) and the sweep
+//! iterates the delta only. See docs/ARCHITECTURE.md.
+
+use std::sync::Arc;
+
+use approxdd::circuit::generators;
+use approxdd::exec::{BuildPool, PoolJob};
+use approxdd::sim::{Simulator, Strategy};
+use proptest::prelude::*;
+
+/// Fingerprints of a batch under one snapshot configuration.
+fn fingerprints(share: bool, workers: usize, jobs: Vec<PoolJob>) -> Vec<u64> {
+    let pool = Simulator::builder()
+        .seed(9)
+        .workers(workers)
+        .record_size_series(true)
+        .share_snapshot(share)
+        .build_pool();
+    pool.run_jobs(jobs)
+        .into_iter()
+        .map(|r| r.expect("pool job").fingerprint())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn snapshot_on_matches_snapshot_off_at_any_worker_count(
+        n in 3usize..7,
+        depth in 4usize..10,
+        seed in 0u64..500
+    ) {
+        // Three related circuits per batch (shared gate families make
+        // the frozen prefix actually earn hits), alternating exact and
+        // truncating jobs so delta GC runs under the snapshot.
+        let circuits: Vec<_> = (0..3u64)
+            .map(|i| generators::random_circuit(n, depth, seed * 3 + i))
+            .collect();
+        let jobs = || {
+            circuits
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let job = PoolJob::new(c.clone()).shots(128);
+                    if i % 2 == 0 {
+                        job
+                    } else {
+                        job.strategy(Strategy::memory_driven_table1(64, 0.95))
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let reference = fingerprints(false, 1, jobs());
+        for workers in [1usize, 2, 8] {
+            let on = fingerprints(true, workers, jobs());
+            prop_assert_eq!(
+                &reference, &on,
+                "snapshot-on diverged from snapshot-off at {} workers", workers
+            );
+        }
+    }
+}
+
+/// Delta GC must respect the watermark: heavy truncation-driven
+/// sweeps may free delta nodes freely, but every frozen node stays
+/// alive and the frozen tier remains fully usable afterwards.
+#[test]
+fn delta_gc_never_frees_frozen_nodes() {
+    let circuit = generators::supremacy(3, 3, 10, 0);
+    let builder = || {
+        Simulator::builder()
+            .seed(5)
+            .strategy(Strategy::memory_driven(32, 0.9))
+            .gc_node_threshold(16)
+    };
+    let snapshot = Arc::new(
+        builder()
+            .build_snapshot([&circuit])
+            .expect("snapshot build"),
+    );
+    let frozen = snapshot.frozen_nodes();
+    assert!(frozen > 0, "the batch must freeze a nonempty gate prefix");
+
+    let mut sim = builder().build_with_snapshot(snapshot.clone());
+    let run = sim.run(&circuit).expect("layered run");
+    assert!(
+        run.stats.approx_rounds > 0,
+        "test needs truncation pressure"
+    );
+    let stats = sim.package().stats();
+    assert!(stats.gc_runs > 0, "test needs delta GC to actually fire");
+    assert_eq!(
+        stats.frozen_nodes(),
+        frozen,
+        "the frozen tier must survive every sweep intact"
+    );
+    assert!(stats.vnodes_alive >= stats.frozen_vnodes);
+    assert!(stats.mnodes_alive >= stats.frozen_mnodes);
+
+    // The shared tier is still fully usable after the sweeps: a fresh
+    // layered simulator matches a plain rebuild bit for bit.
+    let mut layered = builder().build_with_snapshot(snapshot);
+    let mut plain = builder().build();
+    let a = layered.run(&circuit).expect("layered rerun");
+    let b = plain.run(&circuit).expect("plain run");
+    assert_eq!(a.stats.max_dd_size, b.stats.max_dd_size);
+    assert_eq!(a.stats.fidelity.to_bits(), b.stats.fidelity.to_bits());
+    assert_eq!(layered.draw_counts(&a, 256), plain.draw_counts(&b, 256));
+}
