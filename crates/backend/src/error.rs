@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 use approxdd_circuit::noise::NoiseError;
 use approxdd_circuit::CircuitError;
@@ -45,10 +46,40 @@ pub enum ExecError {
     },
     /// A pool worker terminated (panicked or was torn down) before
     /// returning a job's result. Produced by the `approxdd-exec`
-    /// execution layer, never by a single-threaded backend.
+    /// execution layer, never by a single-threaded backend. Retryable:
+    /// the pool's `RetryPolicy` re-dispatches lost jobs, and because
+    /// per-job seeds are a pure function of the job index, a retried
+    /// success is byte-identical to a first-try success.
     WorkerLost {
         /// Index of the job whose result was lost.
         job: usize,
+        /// Zero-based attempt on which the worker was lost (`0` for a
+        /// first try; the Display message reports it one-based).
+        attempt: u32,
+    },
+    /// A job's wall-clock deadline elapsed before the run finished.
+    /// Enforced cooperatively: a deadline-wrapping policy
+    /// (`approxdd_sim::DeadlinePolicy`) aborts the run at the first
+    /// operation past the cutoff, and the pool worker surfaces the
+    /// abort as this typed error. Produced by the `approxdd-exec`
+    /// execution layer.
+    DeadlineExceeded {
+        /// Index of the job that blew its deadline.
+        job: usize,
+        /// Zero-based attempt that exceeded the deadline.
+        attempt: u32,
+        /// The wall-clock budget the job was given.
+        budget: Duration,
+    },
+    /// A seeded fault-injection plan (`approxdd_exec::FaultPlan`)
+    /// forced this job to fail. Test/bench only — never produced
+    /// unless a plan was explicitly installed on the pool. Retryable,
+    /// exactly like [`ExecError::WorkerLost`].
+    FaultInjected {
+        /// Index of the faulted job.
+        job: usize,
+        /// Zero-based attempt the fault fired on.
+        attempt: u32,
     },
 }
 
@@ -67,8 +98,30 @@ impl fmt::Display for ExecError {
             ExecError::Unsupported { backend, what } => {
                 write!(f, "backend '{backend}' does not support {what}")
             }
-            ExecError::WorkerLost { job } => {
-                write!(f, "pool worker terminated before completing job {job}")
+            ExecError::WorkerLost { job, attempt } => {
+                write!(
+                    f,
+                    "pool worker terminated before completing job {job} (attempt {})",
+                    attempt + 1
+                )
+            }
+            ExecError::DeadlineExceeded {
+                job,
+                attempt,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "job {job} exceeded its {budget:?} deadline (attempt {})",
+                    attempt + 1
+                )
+            }
+            ExecError::FaultInjected { job, attempt } => {
+                write!(
+                    f,
+                    "injected fault failed job {job} (attempt {})",
+                    attempt + 1
+                )
             }
         }
     }
@@ -85,7 +138,9 @@ impl Error for ExecError {
             ExecError::Noise(e) => Some(e),
             ExecError::BasisOutOfRange { .. }
             | ExecError::Unsupported { .. }
-            | ExecError::WorkerLost { .. } => None,
+            | ExecError::WorkerLost { .. }
+            | ExecError::DeadlineExceeded { .. }
+            | ExecError::FaultInjected { .. } => None,
         }
     }
 }
@@ -151,5 +206,114 @@ mod tests {
     fn is_send_sync_error() {
         fn assert_traits<T: Send + Sync + Error>() {}
         assert_traits::<ExecError>();
+    }
+
+    /// Walks an error's `source` chain and returns its depth (0 for a
+    /// leaf error with no cause).
+    fn chain_depth(e: &dyn Error) -> usize {
+        let mut depth = 0;
+        let mut cursor = e.source();
+        while let Some(inner) = cursor {
+            depth += 1;
+            cursor = inner.source();
+        }
+        depth
+    }
+
+    /// Taxonomy audit: every variant renders a non-empty Display and
+    /// its `source` chain is exactly as deep as its construction — the
+    /// engine wrappers expose their cause, the execution-layer leaves
+    /// (worker loss, deadlines, injected faults) expose none.
+    #[test]
+    fn every_variant_displays_and_chains_as_constructed() {
+        use approxdd_circuit::noise::NoiseError;
+        let wrapped: Vec<(ExecError, usize)> = vec![
+            (ExecError::Sim(SimError::InvalidStrategy { reason: "x" }), 1),
+            (
+                ExecError::State(StateError::TooManyQubits {
+                    n_qubits: 40,
+                    max: 30,
+                }),
+                1,
+            ),
+            (
+                ExecError::Stabilizer(StabilizerError::TooManyQubits {
+                    n_qubits: 70,
+                    max: 64,
+                }),
+                1,
+            ),
+            (ExecError::Dd(DdError::InvalidPermutation), 1),
+            (
+                ExecError::Circuit(CircuitError::QubitOutOfRange {
+                    op_index: 0,
+                    qubit: 5,
+                    n_qubits: 3,
+                }),
+                1,
+            ),
+            (
+                ExecError::Noise(NoiseError::InvalidRate {
+                    channel: "bit-flip",
+                    rate: 2.0,
+                }),
+                1,
+            ),
+            (
+                ExecError::BasisOutOfRange {
+                    basis: 9,
+                    n_qubits: 3,
+                },
+                0,
+            ),
+            (
+                ExecError::Unsupported {
+                    backend: "dd",
+                    what: "time travel",
+                },
+                0,
+            ),
+            (ExecError::WorkerLost { job: 3, attempt: 1 }, 0),
+            (
+                ExecError::DeadlineExceeded {
+                    job: 5,
+                    attempt: 2,
+                    budget: Duration::from_millis(250),
+                },
+                0,
+            ),
+            (ExecError::FaultInjected { job: 7, attempt: 0 }, 0),
+        ];
+        for (e, want_depth) in &wrapped {
+            assert!(!e.to_string().is_empty(), "{e:?} has an empty Display");
+            assert_eq!(chain_depth(e), *want_depth, "{e:?} chain depth");
+        }
+        // A doubly-nested wrapper keeps chaining through: the Sim layer
+        // exposes the DD cause one hop further down.
+        let nested = ExecError::Sim(SimError::WidthMismatch {
+            state: 2,
+            circuit: 3,
+        });
+        assert_eq!(chain_depth(&nested), 1);
+    }
+
+    /// The execution-layer messages must name the job index and the
+    /// 1-based attempt count — that is what a server log greps for.
+    #[test]
+    fn resilience_errors_name_job_and_attempt() {
+        let lost = ExecError::WorkerLost { job: 3, attempt: 1 };
+        assert!(lost.to_string().contains("job 3"), "{lost}");
+        assert!(lost.to_string().contains("attempt 2"), "{lost}");
+        let deadline = ExecError::DeadlineExceeded {
+            job: 5,
+            attempt: 0,
+            budget: Duration::from_millis(250),
+        };
+        assert!(deadline.to_string().contains("job 5"), "{deadline}");
+        assert!(deadline.to_string().contains("attempt 1"), "{deadline}");
+        assert!(deadline.to_string().contains("250ms"), "{deadline}");
+        let injected = ExecError::FaultInjected { job: 7, attempt: 2 };
+        assert!(injected.to_string().contains("job 7"), "{injected}");
+        assert!(injected.to_string().contains("attempt 3"), "{injected}");
     }
 }

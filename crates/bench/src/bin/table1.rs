@@ -194,6 +194,17 @@ fn main() -> ExitCode {
                     ("peak_nodes", Json::int(pool_stats.peak_nodes())),
                 ]),
             ),
+            // Resilience counters: all zero on a happy-path run (CI
+            // asserts exactly that) — a nonzero respawn count here
+            // means a worker died on a real bench workload.
+            (
+                "resilience".to_string(),
+                Json::obj([
+                    ("respawns", Json::int(pool_stats.respawns)),
+                    ("retries", Json::int(pool_stats.retries)),
+                    ("deadline_exceeded", Json::int(pool_stats.deadline_exceeded)),
+                ]),
+            ),
             (
                 "rows".to_string(),
                 Json::Arr(rows.iter().map(TableRow::to_json).collect()),

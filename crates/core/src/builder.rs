@@ -6,11 +6,12 @@
 //! [`SimulatorBuilder::seed`].
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use approxdd_circuit::noise::NoiseModel;
 use approxdd_circuit::Circuit;
 
-use crate::options::{ApproxPrimitive, Engine, SimOptions, Strategy};
+use crate::options::{ApproxPrimitive, Engine, RetryPolicy, SimOptions, Strategy};
 use crate::policy::{PolicyFactory, SharedObserver, SimObserver};
 use crate::simulator::{SimSnapshot, Simulator, DEFAULT_SAMPLE_SEED};
 
@@ -45,6 +46,8 @@ pub struct SimulatorBuilder {
     noise: Option<NoiseModel>,
     engine: Engine,
     share_snapshot: bool,
+    retry: RetryPolicy,
+    job_deadline: Option<Duration>,
 }
 
 impl std::fmt::Debug for SimulatorBuilder {
@@ -58,6 +61,8 @@ impl std::fmt::Debug for SimulatorBuilder {
             .field("noise", &self.noise.is_some())
             .field("engine", &self.engine)
             .field("share_snapshot", &self.share_snapshot)
+            .field("retry", &self.retry)
+            .field("job_deadline", &self.job_deadline)
             .finish()
     }
 }
@@ -74,6 +79,8 @@ impl SimulatorBuilder {
             noise: None,
             engine: Engine::Dd,
             share_snapshot: false,
+            retry: RetryPolicy::default(),
+            job_deadline: None,
         }
     }
 
@@ -292,6 +299,51 @@ impl SimulatorBuilder {
         self.share_snapshot
     }
 
+    /// Sets the pool-wide [`RetryPolicy`]: how many attempts a pooled
+    /// job may consume when it fails with a *retryable* error (a lost
+    /// worker, or an injected test fault), and how long to back off
+    /// between them. The default never retries. Plain
+    /// [`SimulatorBuilder::build`] ignores this knob; the pool layer
+    /// (`approxdd-exec`) reads it from the template, and individual
+    /// jobs may override it.
+    ///
+    /// Retrying is deterministic: job seeds are pure functions of the
+    /// job index (never the attempt number), so a retried success is
+    /// byte-identical to a first-try success.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// The pool-wide retry policy (see [`SimulatorBuilder::retry`]).
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Sets a default wall-clock deadline for every pooled job built
+    /// from this template. Enforced cooperatively: the pool wraps each
+    /// job's policy in a [`crate::DeadlinePolicy`], which aborts the
+    /// run at the first operation past the cutoff, surfacing a typed
+    /// `DeadlineExceeded` error. Individual jobs may override this with
+    /// their own deadline. Plain [`SimulatorBuilder::build`] ignores
+    /// the knob.
+    ///
+    /// Nonzero deadlines are inherently wall-clock-dependent — use them
+    /// for resource protection, not for anything a fingerprint
+    /// comparison depends on.
+    pub fn job_deadline(mut self, budget: Duration) -> Self {
+        self.job_deadline = Some(budget);
+        self
+    }
+
+    /// The template-wide job deadline, if any (see
+    /// [`SimulatorBuilder::job_deadline`]).
+    #[must_use]
+    pub fn job_deadline_budget(&self) -> Option<Duration> {
+        self.job_deadline
+    }
+
     /// Builds a frozen [`SimSnapshot`] warming every gate of the given
     /// circuits with this builder's options — what pools call once per
     /// submission when [`SimulatorBuilder::share_snapshot`] is on.
@@ -500,6 +552,25 @@ mod tests {
         for _ in 0..8 {
             assert_eq!(plain.draw(&run_p), layered.draw(&run_l));
         }
+    }
+
+    #[test]
+    fn retry_and_deadline_knobs_round_trip() {
+        use std::time::Duration;
+        let b = Simulator::builder();
+        assert_eq!(b.retry_policy(), RetryPolicy::default());
+        assert!(b.job_deadline_budget().is_none());
+
+        let b = Simulator::builder()
+            .retry(RetryPolicy::new(3).with_backoff(Duration::from_millis(5)))
+            .job_deadline(Duration::from_secs(2));
+        assert_eq!(b.retry_policy().max_attempts, 3);
+        assert_eq!(b.retry_policy().backoff, Duration::from_millis(5));
+        assert_eq!(b.job_deadline_budget(), Some(Duration::from_secs(2)));
+        // Both survive cloning into pool templates.
+        let c = b.clone();
+        assert_eq!(c.retry_policy(), b.retry_policy());
+        assert_eq!(c.job_deadline_budget(), b.job_deadline_budget());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Simulation options and approximation strategies.
 
+use std::time::Duration;
+
 use crate::error::SimError;
 
 /// Which simulation engine a backend built from a
@@ -197,6 +199,75 @@ impl Strategy {
     }
 }
 
+/// How pooled execution re-dispatches jobs that fail with a *retryable*
+/// error (a lost worker, or an injected fault from a test harness).
+///
+/// Lives in this crate so one builder template describes the full
+/// experiment — the pool layer (`approxdd-exec`) reads it from the
+/// template and accepts a per-job override. Retrying is safe by
+/// construction: a job's seed is a pure function of (root seed, domain,
+/// job index), never of the attempt number, so a retried success is
+/// byte-identical to a first-try success.
+///
+/// The default (`max_attempts = 1`) disables retries entirely —
+/// failures surface to the caller exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total number of attempts a job may consume, including the first
+    /// (so `1` means "never retry"). Zero is treated as one.
+    pub max_attempts: u32,
+    /// Base backoff slept before each retry, doubled per attempt:
+    /// attempt `k` (1-based retry count) waits `backoff · 2^(k−1)`.
+    /// [`Duration::ZERO`] (the default) retries immediately — the
+    /// right choice for deterministic in-process faults, while a
+    /// server fronting flaky external resources wants a real backoff.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy allowing up to `max_attempts` total attempts with no
+    /// backoff.
+    #[must_use]
+    pub fn new(max_attempts: u32) -> Self {
+        Self {
+            max_attempts,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Sets the base backoff (doubled per retry).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Whether this policy ever retries.
+    #[must_use]
+    pub fn retries_enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// The exponential-backoff delay before the given zero-based
+    /// attempt: nothing before the first attempt, `backoff · 2^(a−1)`
+    /// before attempt `a ≥ 1` (saturating, so absurd attempt counts
+    /// cannot overflow).
+    #[must_use]
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        if attempt == 0 || self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        self.backoff
+            .saturating_mul(1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
 /// The truncation primitive a strategy's rounds use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
@@ -335,6 +406,24 @@ mod tests {
         assert_eq!(o.strategy, Strategy::Exact);
         assert!(!o.record_size_series);
         assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn retry_policy_defaults_and_backoff() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 1);
+        assert!(!p.retries_enabled());
+        assert_eq!(p.delay_for(0), Duration::ZERO);
+        assert_eq!(p.delay_for(3), Duration::ZERO);
+
+        let p = RetryPolicy::new(3).with_backoff(Duration::from_millis(10));
+        assert!(p.retries_enabled());
+        assert_eq!(p.delay_for(0), Duration::ZERO);
+        assert_eq!(p.delay_for(1), Duration::from_millis(10));
+        assert_eq!(p.delay_for(2), Duration::from_millis(20));
+        assert_eq!(p.delay_for(3), Duration::from_millis(40));
+        // Saturates instead of overflowing.
+        assert!(p.delay_for(200) > Duration::from_secs(3600));
     }
 
     /// Input-validation hardening: every NaN / zero / out-of-range

@@ -64,7 +64,9 @@
 //! assert!(matches!(events.last(), Some(TraceEvent::RunFinished { .. })));
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use approxdd_circuit::Circuit;
 
@@ -539,6 +541,165 @@ impl ApproxPolicy for BudgetPolicy {
     }
 }
 
+/// A wall-clock deadline wrapped around any other policy: past the
+/// budget, every decision becomes [`PolicyAction::Abort`] — the
+/// cooperative enforcement seam the pool layer uses for per-job
+/// deadlines (the paper's whole premise is that unapproximated DD
+/// simulation can blow up, so a runaway job must not occupy a worker
+/// forever).
+///
+/// The clock anchors at [`ApproxPolicy::begin`], so setup work before
+/// the run does not count against the budget. Enforcement is
+/// *cooperative*: the simulator consults its policy after every
+/// operation, so a single enormous gate application can overshoot the
+/// cutoff — the guarantee is "aborts at the first op past the
+/// deadline", not a hard preemption.
+///
+/// The policy is transparent: [`ApproxPolicy::name`] and
+/// [`ApproxPolicy::node_threshold`] delegate to the wrapped policy,
+/// and before the cutoff every decision is the inner policy's — a
+/// deadline that never fires changes no byte of the result.
+///
+/// A shared `fired` flag records whether the deadline (rather than the
+/// inner policy) caused an abort; the pool layer reads it to convert
+/// the generic `PolicyAbort` error into a typed
+/// `ExecError::DeadlineExceeded`.
+pub struct DeadlinePolicy {
+    inner: Box<dyn ApproxPolicy>,
+    budget: Duration,
+    started: Option<Instant>,
+    fired: Arc<AtomicBool>,
+}
+
+impl DeadlinePolicy {
+    /// Wraps `inner` with a wall-clock `budget`, creating a fresh
+    /// fired flag (retrieve it with [`DeadlinePolicy::fired_flag`]).
+    #[must_use]
+    pub fn new(inner: Box<dyn ApproxPolicy>, budget: Duration) -> Self {
+        Self::with_flag(inner, budget, Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Wraps `inner`, reporting deadline hits through a caller-supplied
+    /// flag — how [`DeadlineFactory`] shares one flag across the
+    /// policies it builds.
+    #[must_use]
+    pub fn with_flag(
+        inner: Box<dyn ApproxPolicy>,
+        budget: Duration,
+        fired: Arc<AtomicBool>,
+    ) -> Self {
+        Self {
+            inner,
+            budget,
+            started: None,
+            fired,
+        }
+    }
+
+    /// The shared flag set to `true` the moment the deadline forces an
+    /// abort.
+    #[must_use]
+    pub fn fired_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.fired)
+    }
+}
+
+impl std::fmt::Debug for DeadlinePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeadlinePolicy")
+            .field("inner", &self.inner.name())
+            .field("budget", &self.budget)
+            .field("fired", &self.fired.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ApproxPolicy for DeadlinePolicy {
+    /// Transparent: the wrapped policy's name, so wrapping a preset in
+    /// a deadline changes no reported label (and fingerprints exclude
+    /// names anyway).
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn begin(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        self.started = Some(Instant::now());
+        self.inner.begin(circuit)
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx) -> PolicyAction {
+        let expired = self
+            .started
+            .is_some_and(|started| started.elapsed() >= self.budget);
+        if expired {
+            self.fired.store(true, Ordering::Relaxed);
+            return PolicyAction::Abort;
+        }
+        self.inner.decide(ctx)
+    }
+
+    fn node_threshold(&self) -> Option<usize> {
+        self.inner.node_threshold()
+    }
+}
+
+/// A [`PolicyFactory`] producing [`DeadlinePolicy`]-wrapped instances
+/// of an inner factory's policies, all reporting through one shared
+/// fired flag.
+///
+/// This is what the pool layer installs per job: the worker builds the
+/// policy through this factory, runs the job, and on a `PolicyAbort`
+/// error checks [`DeadlineFactory::fired`] to tell a deadline abort
+/// from an ordinary policy abort.
+pub struct DeadlineFactory {
+    inner: Arc<dyn PolicyFactory>,
+    budget: Duration,
+    fired: Arc<AtomicBool>,
+}
+
+impl DeadlineFactory {
+    /// A factory wrapping `inner`'s policies with `budget`.
+    #[must_use]
+    pub fn new(inner: Arc<dyn PolicyFactory>, budget: Duration) -> Self {
+        Self {
+            inner,
+            budget,
+            fired: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Whether any policy built by this factory has hit its deadline.
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// The shared flag behind [`DeadlineFactory::fired`].
+    #[must_use]
+    pub fn fired_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.fired)
+    }
+}
+
+impl std::fmt::Debug for DeadlineFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeadlineFactory")
+            .field("budget", &self.budget)
+            .field("fired", &self.fired())
+            .finish()
+    }
+}
+
+impl PolicyFactory for DeadlineFactory {
+    fn build(&self) -> Box<dyn ApproxPolicy> {
+        Box::new(DeadlinePolicy::with_flag(
+            self.inner.build(),
+            self.budget,
+            Arc::clone(&self.fired),
+        ))
+    }
+}
+
 /// One structured event in a run's trace, delivered to every attached
 /// [`SimObserver`] in order. Everything in an event is deterministic
 /// (no wall-clock times), so traces of identical jobs are identical —
@@ -858,6 +1019,49 @@ mod tests {
         // Closures are factories too.
         let factory = || Box::new(ExactPolicy) as Box<dyn ApproxPolicy>;
         assert_eq!(PolicyFactory::build(&factory).name(), "exact");
+    }
+
+    #[test]
+    fn deadline_policy_aborts_past_the_budget() {
+        // A zero budget expires at the first decision — deterministic,
+        // which is what the pool's deadline tests rely on.
+        let mut p = DeadlinePolicy::new(Box::new(ExactPolicy), Duration::ZERO);
+        let flag = p.fired_flag();
+        p.begin(&generators::ghz(3)).unwrap();
+        assert_eq!(p.decide(&ctx(true, 5, 1.0)), PolicyAction::Abort);
+        assert!(flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn deadline_policy_is_transparent_before_the_cutoff() {
+        let mut p = DeadlinePolicy::new(
+            Box::new(MemoryDrivenPolicy::table1(10, 0.9)),
+            Duration::from_secs(3600),
+        );
+        let flag = p.fired_flag();
+        p.begin(&generators::ghz(8)).unwrap();
+        assert_eq!(p.name(), "memory-driven");
+        assert_eq!(p.node_threshold(), Some(10));
+        assert_eq!(
+            p.decide(&ctx(true, 11, 1.0)),
+            PolicyAction::Truncate {
+                round_fidelity: 0.9
+            }
+        );
+        assert!(!flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn deadline_factory_shares_one_fired_flag() {
+        let factory = DeadlineFactory::new(Arc::new(Strategy::Exact), Duration::ZERO);
+        assert!(!factory.fired());
+        let mut p = factory.build();
+        p.begin(&generators::ghz(3)).unwrap();
+        assert_eq!(p.decide(&ctx(true, 1, 1.0)), PolicyAction::Abort);
+        assert!(factory.fired(), "flag visible through the factory");
+        // A second build reports through the same flag.
+        let p2 = factory.build();
+        assert_eq!(p2.name(), "exact");
     }
 
     #[test]

@@ -17,6 +17,19 @@
 //! docs for why job isolation is required, and the workspace contract
 //! suite for the assertion).
 //!
+//! **Execution is fault-tolerant:** the pool supervises its workers
+//! (a thread killed by a panicking job is respawned into the same slot,
+//! so capacity self-heals), re-dispatches jobs lost to worker deaths or
+//! blown deadlines under a deterministic
+//! [`RetryPolicy`](approxdd_sim::RetryPolicy) — retried results are
+//! byte-identical to first-try results because seeds are keyed on the
+//! job index, never the attempt — and enforces per-job wall-clock
+//! deadlines cooperatively through the policy seam, with an optional
+//! degradation ladder ([`PoolJob::degrade_with`]). A seeded
+//! [`FaultPlan`] (test/bench only, driven by the [`DOMAIN_FAULT`] seed
+//! stream) injects worker panics, delays and forced aborts at
+//! deterministic job indices to exercise all of it.
+//!
 //! [`SimulatorBuilder`]: approxdd_sim::SimulatorBuilder
 //!
 //! # Examples
@@ -43,14 +56,17 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod pool;
 mod seed;
+mod supervise;
 
+pub use fault::{silence_injected_panics, FaultKind, FaultPlan, InjectedPanic};
 pub use pool::{
     BackendPool, BuildPool, PoolJob, PoolOutcome, PoolStats, SharedDiagonal, WorkerStats,
     SHOT_CHUNK,
 };
-pub use seed::{splitmix64, SeedStream, DOMAIN_NOISE, DOMAIN_RUN, DOMAIN_SAMPLE};
+pub use seed::{splitmix64, SeedStream, DOMAIN_FAULT, DOMAIN_NOISE, DOMAIN_RUN, DOMAIN_SAMPLE};
 
 #[cfg(test)]
 mod tests {

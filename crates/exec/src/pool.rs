@@ -34,10 +34,41 @@
 //! always draws with seed `stream(DOMAIN_SAMPLE, i)` and histogram
 //! merging is commutative, so the merged counts are invariant under
 //! both worker count and completion order.
+//!
+//! # Fault tolerance
+//!
+//! The pool self-heals and retries (see `docs/ARCHITECTURE.md` for the
+//! lifecycle):
+//!
+//! * **Supervision.** A worker that dies (a panicking job) is detected
+//!   during result collection and respawned into the same slot, so the
+//!   pool always returns to full capacity; respawn counts surface in
+//!   [`PoolStats::respawns`].
+//! * **Deterministic retry.** A [`RetryPolicy`] on the template (or
+//!   per job via [`PoolJob::retry`]) re-dispatches jobs that failed
+//!   with a retryable error — [`ExecError::WorkerLost`],
+//!   [`ExecError::FaultInjected`], [`ExecError::DeadlineExceeded`].
+//!   Seeds are keyed on the job index, never the attempt, so a retried
+//!   success is byte-identical to a first-try success.
+//! * **Deadlines & degradation.** [`PoolJob::deadline`] (or the
+//!   template's `job_deadline`) wraps the job's policy in a
+//!   `DeadlinePolicy` that aborts cooperatively past the cutoff,
+//!   surfacing [`ExecError::DeadlineExceeded`]; an optional
+//!   [`PoolJob::degrade_with`] fallback policy reruns aborted jobs
+//!   coarser (once, without the deadline), marking
+//!   [`PoolOutcome::degraded`].
+//! * **Fault injection.** [`BackendPool::inject_faults`] installs a
+//!   seeded [`FaultPlan`] (test/bench only) that panics workers,
+//!   delays jobs, or forces aborts at deterministic job indices.
+//!
+//! The resilience counters ([`PoolStats::respawns`] /
+//! [`PoolStats::retries`] / [`PoolStats::deadline_exceeded`], and
+//! [`PoolOutcome::attempts`] / [`PoolOutcome::degraded`]) are
+//! diagnostics: all are excluded from [`PoolOutcome::fingerprint`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
@@ -48,11 +79,20 @@ use approxdd_backend::{
 };
 use approxdd_circuit::Circuit;
 use approxdd_sim::{
-    Engine, PolicyFactory, SharedObserver, SimSnapshot, SimulatorBuilder, Strategy, TraceEvent,
-    TraceRecorder,
+    DeadlineFactory, Engine, PolicyFactory, RetryPolicy, SharedObserver, SimError, SimSnapshot,
+    SimulatorBuilder, Strategy, TraceEvent, TraceRecorder,
 };
 
+use crate::fault::{FaultKind, FaultPlan, InjectedPanic};
 use crate::seed::{SeedStream, DOMAIN_RUN, DOMAIN_SAMPLE};
+use crate::supervise::Supervisor;
+
+/// How long collection loops block on the reply channel before taking
+/// a supervision tick ([`BackendPool::heal`]). The tick is what breaks
+/// the all-workers-dead deadlock: queued tasks hold reply senders, so
+/// the channel never disconnects on its own — healing respawns workers
+/// that then drain the queue.
+const SUPERVISE_TICK: Duration = Duration::from_millis(25);
 
 /// A diagonal observable `Σ f(i) |i⟩⟨i|` evaluated worker-side on a
 /// job's final state (shared so heterogeneous job lists clone cheaply).
@@ -75,6 +115,9 @@ pub struct PoolJob {
     shots: usize,
     trace: bool,
     expectation: Option<SharedDiagonal>,
+    deadline: Option<Duration>,
+    retry: Option<RetryPolicy>,
+    fallback: Option<Arc<dyn PolicyFactory>>,
 }
 
 impl std::fmt::Debug for PoolJob {
@@ -86,6 +129,9 @@ impl std::fmt::Debug for PoolJob {
             .field("shots", &self.shots)
             .field("trace", &self.trace)
             .field("expectation", &self.expectation.is_some())
+            .field("deadline", &self.deadline)
+            .field("retry", &self.retry)
+            .field("fallback", &self.fallback.is_some())
             .finish()
     }
 }
@@ -101,6 +147,9 @@ impl PoolJob {
             shots: 0,
             trace: false,
             expectation: None,
+            deadline: None,
+            retry: None,
+            fallback: None,
         }
     }
 
@@ -154,6 +203,40 @@ impl PoolJob {
         self
     }
 
+    /// Sets a wall-clock deadline for this job, overriding the
+    /// template's `job_deadline`. Enforced cooperatively: the worker
+    /// wraps the job's policy in a `DeadlinePolicy` that aborts at the
+    /// first operation past the cutoff, surfacing
+    /// [`ExecError::DeadlineExceeded`]. Retried attempts keep the
+    /// deadline; a degraded attempt ([`PoolJob::degrade_with`]) drops
+    /// it.
+    #[must_use]
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Overrides the pool template's [`RetryPolicy`] for this job only.
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Installs a degradation fallback: when this job aborts — its
+    /// deadline fires, or its policy returns `Abort` — the pool reruns
+    /// it **once** under this (presumably coarser) policy instead of
+    /// giving up, with no deadline attached (last-resort semantics: the
+    /// degraded attempt must be allowed to finish), and marks the
+    /// outcome [`PoolOutcome::degraded`]. Degradation takes precedence
+    /// over blind retry for abort-style failures and does not consume
+    /// a retry attempt beyond the one it spends.
+    #[must_use]
+    pub fn degrade_with<P: PolicyFactory + 'static>(mut self, factory: P) -> Self {
+        self.fallback = Some(Arc::new(factory));
+        self
+    }
+
     /// The job's circuit.
     #[must_use]
     pub fn circuit(&self) -> &Circuit {
@@ -188,17 +271,31 @@ pub struct PoolOutcome {
     /// Index of the worker that executed the job (diagnostic only —
     /// excluded from [`PoolOutcome::fingerprint`]).
     pub worker: usize,
+    /// Total attempts this job consumed (1 = succeeded first try; > 1
+    /// means retries happened). Resilience diagnostic — excluded from
+    /// [`PoolOutcome::fingerprint`], because a retried success must be
+    /// byte-identical to a first-try success.
+    pub attempts: u32,
+    /// Whether this outcome came from a degraded attempt (the
+    /// [`PoolJob::degrade_with`] fallback policy, after an abort).
+    /// Excluded from [`PoolOutcome::fingerprint`] like every other
+    /// resilience counter — though a degraded run's *result fields*
+    /// naturally differ from an undisturbed run's, since a different
+    /// policy steered it.
+    pub degraded: bool,
 }
 
 impl PoolOutcome {
     /// A hash over every deterministic *result* field — everything
     /// except the wall-clock runtime, the executing worker, the trace
     /// (itself deterministic, but an audit artifact rather than a
-    /// result) and the policy *name* (so a custom policy replicating a
-    /// preset's decisions fingerprints identically to the preset). Two
-    /// runs of the same job under the same root seed produce equal
-    /// fingerprints regardless of pool size; the contract suite asserts
-    /// exactly that.
+    /// result), the policy *name* (so a custom policy replicating a
+    /// preset's decisions fingerprints identically to the preset), and
+    /// the resilience diagnostics ([`PoolOutcome::attempts`] /
+    /// [`PoolOutcome::degraded`] — a retried success must fingerprint
+    /// identically to a first-try success). Two runs of the same job
+    /// under the same root seed produce equal fingerprints regardless
+    /// of pool size; the contract suite asserts exactly that.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -230,6 +327,9 @@ impl PoolOutcome {
 pub struct WorkerStats {
     /// Worker index.
     pub worker: usize,
+    /// Times this worker slot was respawned after a thread death
+    /// (supervision; see [`PoolStats::respawns`] for the pool total).
+    pub respawns: usize,
     /// Run jobs executed.
     pub jobs: usize,
     /// Sampling chunks executed.
@@ -296,6 +396,17 @@ pub struct PoolStats {
     pub queue_depth: usize,
     /// High-water mark of [`PoolStats::queue_depth`].
     pub max_queue_depth: usize,
+    /// Worker threads respawned after a death over the pool's lifetime
+    /// (0 on a healthy run). A resilience diagnostic, like
+    /// [`PoolStats::retries`] — never part of any result fingerprint.
+    pub respawns: usize,
+    /// Job dispatches beyond each job's first attempt: every retry and
+    /// every degraded rerun counts, whether or not it succeeded.
+    pub retries: usize,
+    /// [`ExecError::DeadlineExceeded`] failures observed, counted
+    /// before any retry/degradation decision (a job that blows its
+    /// deadline twice counts twice).
+    pub deadline_exceeded: usize,
     /// Per-worker breakdown.
     pub per_worker: Vec<WorkerStats>,
 }
@@ -376,19 +487,36 @@ impl PoolStats {
     }
 }
 
-/// Reply channel of a run job: `(job index, outcome)`.
-type RunReply = mpsc::Sender<(usize, Result<PoolOutcome, ExecError>)>;
+/// Reply channel of a run job: `(job index, attempt, degraded,
+/// outcome)` — the attempt/degraded echo lets the collector match a
+/// reply to the exact dispatch it answers.
+type RunReply = mpsc::Sender<(usize, u32, bool, Result<PoolOutcome, ExecError>)>;
 /// Reply channel of a sampling chunk: `(chunk index, histogram)`.
 type ChunkReply = mpsc::Sender<(usize, Result<HashMap<u64, usize>, ExecError>)>;
 
+/// One dispatch of a run job: the job plus everything attempt-specific
+/// (which try this is, whether it runs degraded, the effective
+/// deadline, the installed fault plan).
+struct RunSpec {
+    index: usize,
+    /// Zero-based attempt number of this dispatch.
+    attempt: u32,
+    /// Whether this dispatch runs under the job's degradation fallback.
+    degraded: bool,
+    job: PoolJob,
+    seed: u64,
+    /// Shared frozen prefix for this job's backend, built once per
+    /// submission when the template enables `share_snapshot`.
+    snapshot: Option<Arc<SimSnapshot>>,
+    /// Effective wall-clock budget (per-job override, else the
+    /// template's `job_deadline`; `None` on degraded attempts).
+    deadline: Option<Duration>,
+    fault: Option<Arc<FaultPlan>>,
+}
+
 enum Task {
     Run {
-        index: usize,
-        job: PoolJob,
-        seed: u64,
-        /// Shared frozen prefix for this job's backend, built once per
-        /// submission when the template enables `share_snapshot`.
-        snapshot: Option<Arc<SimSnapshot>>,
+        spec: RunSpec,
         reply: RunReply,
     },
     Sample {
@@ -441,20 +569,27 @@ enum Task {
 pub struct BackendPool {
     sender: Option<mpsc::Sender<Task>>,
     template: SimulatorBuilder,
-    handles: Vec<thread::JoinHandle<()>>,
+    supervisor: Supervisor,
     worker_stats: Vec<Arc<Mutex<WorkerStats>>>,
+    /// Kept so [`BackendPool::heal`] can hand the shared queue to
+    /// respawned workers (and so the send side never observes a
+    /// disconnected channel while the pool is alive).
+    receiver: Arc<Mutex<mpsc::Receiver<Task>>>,
     queue_depth: Arc<AtomicUsize>,
     max_queue_depth: AtomicUsize,
     tasks_submitted: AtomicUsize,
     epoch: AtomicU64,
     seeds: SeedStream,
+    fault_plan: Mutex<Option<Arc<FaultPlan>>>,
+    retries: AtomicUsize,
+    deadline_exceeded: AtomicUsize,
     created: Instant,
 }
 
 impl std::fmt::Debug for Task {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Task::Run { index, .. } => write!(f, "Task::Run({index})"),
+            Task::Run { spec, .. } => write!(f, "Task::Run({})", spec.index),
             Task::Sample { epoch, .. } => write!(f, "Task::Sample(epoch {epoch})"),
         }
     }
@@ -499,21 +634,70 @@ impl BackendPool {
         Self {
             sender: Some(sender),
             template,
-            handles,
+            supervisor: Supervisor::new(handles),
             worker_stats,
+            receiver,
             queue_depth,
             max_queue_depth: AtomicUsize::new(0),
             tasks_submitted: AtomicUsize::new(0),
             epoch: AtomicU64::new(0),
             seeds,
+            fault_plan: Mutex::new(None),
+            retries: AtomicUsize::new(0),
+            deadline_exceeded: AtomicUsize::new(0),
             created: Instant::now(),
         }
     }
 
-    /// Number of worker threads.
+    /// Number of worker slots (fixed for the pool's lifetime; a dead
+    /// worker's slot is respawned, never removed — see
+    /// [`BackendPool::alive_workers`]).
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.handles.len()
+        self.supervisor.worker_count()
+    }
+
+    /// Worker threads currently running. Less than
+    /// [`BackendPool::workers`] only between a worker death and the
+    /// next supervision tick; [`BackendPool::heal`] restores full
+    /// capacity.
+    #[must_use]
+    pub fn alive_workers(&self) -> usize {
+        self.supervisor.alive()
+    }
+
+    /// Respawns every dead worker thread into its original slot (same
+    /// index, same [`WorkerStats`] cell, accumulated counters
+    /// preserved), returning how many were healed. Collection loops
+    /// call this automatically on a timer tick, so user code rarely
+    /// needs to — it is public for servers that want to heal eagerly
+    /// between batches. Totals surface in [`PoolStats::respawns`] and
+    /// per slot in [`WorkerStats::respawns`].
+    pub fn heal(&self) -> usize {
+        self.supervisor.heal(|slot| {
+            let cell = Arc::clone(&self.worker_stats[slot]);
+            cell.lock().unwrap_or_else(PoisonError::into_inner).respawns += 1;
+            let template = self.template.clone();
+            let receiver = Arc::clone(&self.receiver);
+            let depth = Arc::clone(&self.queue_depth);
+            thread::Builder::new()
+                .name(format!("approxdd-pool-{slot}"))
+                .spawn(move || worker_loop(slot, &template, &receiver, &depth, &cell))
+                .expect("respawn pool worker")
+        })
+    }
+
+    /// Installs (or, with `None`, clears) a fault-injection plan for
+    /// subsequent [`BackendPool::run_jobs`] submissions. Test/bench
+    /// only: injected faults exercise the supervision, retry and
+    /// deadline machinery at deterministic job indices (the
+    /// `DOMAIN_FAULT` seed stream — see [`FaultPlan`]). No production
+    /// path installs one.
+    pub fn inject_faults(&self, plan: Option<FaultPlan>) {
+        *self
+            .fault_plan
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = plan.map(Arc::new);
     }
 
     /// The root seed of the pool's per-job seed stream.
@@ -562,33 +746,162 @@ impl BackendPool {
     /// strategies and shot counts) across the workers, returning one
     /// result per job in input order.
     ///
-    /// Job `i` samples with seed `stream(DOMAIN_RUN, i)`; a job whose
-    /// worker disappears mid-flight reports
-    /// [`ExecError::WorkerLost`] in its slot instead of hanging the
-    /// collection.
+    /// Job `i` samples with seed `stream(DOMAIN_RUN, i)` — keyed on the
+    /// job index alone, never the attempt, so a retried success is
+    /// byte-identical to a first-try success. A job whose worker
+    /// disappears mid-flight is re-dispatched when its [`RetryPolicy`]
+    /// allows, and otherwise reports [`ExecError::WorkerLost`] in its
+    /// slot instead of hanging the collection; dead workers are healed
+    /// along the way (see the module docs, *Fault tolerance*).
     #[must_use]
     pub fn run_jobs(&self, jobs: Vec<PoolJob>) -> Vec<Result<PoolOutcome, ExecError>> {
         let n = jobs.len();
         let snapshot = self.batch_snapshot(&jobs);
-        let (reply, results_rx) = mpsc::channel();
-        for (index, job) in jobs.into_iter().enumerate() {
-            let seed = self.seeds.seed(DOMAIN_RUN, index as u64);
-            self.submit(Task::Run {
-                index,
-                job,
-                seed,
-                snapshot: snapshot.clone(),
-                reply: reply.clone(),
-            });
-        }
-        drop(reply);
-        let mut results: Vec<Result<PoolOutcome, ExecError>> = (0..n)
-            .map(|job| Err(ExecError::WorkerLost { job }))
-            .collect();
-        while let Ok((index, result)) = results_rx.recv() {
-            results[index] = result;
+        let fault = self
+            .fault_plan
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let template_retry = self.template.retry_policy();
+        let template_deadline = self.template.job_deadline_budget();
+        let mut results: Vec<Option<Result<PoolOutcome, ExecError>>> =
+            (0..n).map(|_| None).collect();
+        // Dispatches awaiting submission, as (job index, attempt,
+        // degraded) triples; retries/degradations feed back into the
+        // next round.
+        let mut pending: Vec<(usize, u32, bool)> = (0..n).map(|i| (i, 0, false)).collect();
+        while !pending.is_empty() {
+            pending.sort_unstable();
+            let round = std::mem::take(&mut pending);
+            let (reply, results_rx) = mpsc::channel();
+            let mut outstanding: BTreeMap<usize, (u32, bool)> = BTreeMap::new();
+            for (index, attempt, degraded) in round {
+                let job = jobs[index].clone();
+                let retry = job.retry.unwrap_or(template_retry);
+                let delay = retry.delay_for(attempt);
+                if !delay.is_zero() {
+                    thread::sleep(delay);
+                }
+                // A degraded attempt drops the deadline: the coarser
+                // fallback is the last resort and must be allowed to
+                // finish.
+                let deadline = if degraded {
+                    None
+                } else {
+                    job.deadline.or(template_deadline)
+                };
+                let seed = self.seeds.seed(DOMAIN_RUN, index as u64);
+                outstanding.insert(index, (attempt, degraded));
+                self.submit(Task::Run {
+                    spec: RunSpec {
+                        index,
+                        attempt,
+                        degraded,
+                        job,
+                        seed,
+                        snapshot: snapshot.clone(),
+                        deadline,
+                        fault: fault.clone(),
+                    },
+                    reply: reply.clone(),
+                });
+            }
+            drop(reply);
+            while !outstanding.is_empty() {
+                match results_rx.recv_timeout(SUPERVISE_TICK) {
+                    Ok((index, attempt, degraded, result)) => {
+                        outstanding.remove(&index);
+                        self.settle(
+                            &jobs,
+                            template_retry,
+                            (index, attempt, degraded),
+                            result,
+                            &mut results,
+                            &mut pending,
+                        );
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Dead workers strand queued tasks (every queued
+                        // task holds a reply sender clone, so the
+                        // channel never disconnects by itself): heal so
+                        // replacements drain the queue.
+                        self.heal();
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            // Whatever never replied rode a dying worker down with it.
+            for (index, (attempt, degraded)) in outstanding {
+                self.settle(
+                    &jobs,
+                    template_retry,
+                    (index, attempt, degraded),
+                    Err(ExecError::WorkerLost {
+                        job: index,
+                        attempt,
+                    }),
+                    &mut results,
+                    &mut pending,
+                );
+            }
+            self.heal();
         }
         results
+            .into_iter()
+            .map(|slot| slot.expect("every job settles exactly once"))
+            .collect()
+    }
+
+    /// Routes one dispatch's result: a success lands in its slot; a
+    /// failure consults the degradation ladder, then the retry policy,
+    /// before becoming final. Resilience counters are bumped here —
+    /// once per observation, before any retry decision — which is what
+    /// makes their totals worker-count-invariant.
+    fn settle(
+        &self,
+        jobs: &[PoolJob],
+        template_retry: RetryPolicy,
+        dispatch: (usize, u32, bool),
+        result: Result<PoolOutcome, ExecError>,
+        results: &mut [Option<Result<PoolOutcome, ExecError>>],
+        pending: &mut Vec<(usize, u32, bool)>,
+    ) {
+        let (index, attempt, degraded) = dispatch;
+        let err = match result {
+            Ok(outcome) => {
+                results[index] = Some(Ok(outcome));
+                return;
+            }
+            Err(err) => err,
+        };
+        if matches!(err, ExecError::DeadlineExceeded { .. }) {
+            self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        }
+        let job = &jobs[index];
+        let abortish = matches!(
+            err,
+            ExecError::DeadlineExceeded { .. } | ExecError::Sim(SimError::PolicyAbort { .. })
+        );
+        if abortish && !degraded && job.fallback.is_some() {
+            // Degrade before (instead of) blindly retrying an abort:
+            // rerunning the identical policy would just abort again.
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            pending.push((index, attempt + 1, true));
+            return;
+        }
+        let retryable = matches!(
+            err,
+            ExecError::WorkerLost { .. }
+                | ExecError::FaultInjected { .. }
+                | ExecError::DeadlineExceeded { .. }
+        );
+        let retry = job.retry.unwrap_or(template_retry);
+        if retryable && attempt + 1 < retry.max_attempts {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            pending.push((index, attempt + 1, degraded));
+            return;
+        }
+        results[index] = Some(Err(err));
     }
 
     /// Draws `shots` measurement outcomes of `circuit` as a histogram,
@@ -631,35 +944,66 @@ impl BackendPool {
         }
         // The epoch invalidates the workers' cached run state; chunk
         // *seeds* are keyed on the chunk index alone so repeated calls
-        // stay reproducible.
+        // (and retried chunks) stay reproducible.
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
         let circuit = Arc::new(circuit.clone());
         let chunks = shots.div_ceil(SHOT_CHUNK);
-        let (reply, results_rx) = mpsc::channel();
-        for chunk in 0..chunks {
-            let size = SHOT_CHUNK.min(shots - chunk * SHOT_CHUNK);
-            let seed = self.seeds.seed(DOMAIN_SAMPLE, chunk as u64);
-            self.submit(Task::Sample {
-                epoch,
-                chunk,
-                circuit: Arc::clone(&circuit),
-                strategy,
-                shots: size,
-                seed,
-                reply: reply.clone(),
-            });
-        }
-        drop(reply);
+        let template_retry = self.template.retry_policy();
+        let max_attempts = template_retry.max_attempts.max(1);
         let mut merged: HashMap<u64, usize> = HashMap::new();
         let mut arrived = vec![false; chunks];
-        while let Ok((chunk, result)) = results_rx.recv() {
-            for (outcome, count) in result? {
-                *merged.entry(outcome).or_insert(0) += count;
+        for attempt in 0..max_attempts {
+            let missing: Vec<usize> = (0..chunks).filter(|&c| !arrived[c]).collect();
+            if missing.is_empty() {
+                break;
             }
-            arrived[chunk] = true;
+            if attempt > 0 {
+                // Re-dispatching lost chunks with their original seeds:
+                // a retried chunk redraws the exact same shots.
+                self.retries.fetch_add(missing.len(), Ordering::Relaxed);
+                let delay = template_retry.delay_for(attempt);
+                if !delay.is_zero() {
+                    thread::sleep(delay);
+                }
+            }
+            let (reply, results_rx) = mpsc::channel();
+            let mut outstanding = missing.len();
+            for &chunk in &missing {
+                let size = SHOT_CHUNK.min(shots - chunk * SHOT_CHUNK);
+                let seed = self.seeds.seed(DOMAIN_SAMPLE, chunk as u64);
+                self.submit(Task::Sample {
+                    epoch,
+                    chunk,
+                    circuit: Arc::clone(&circuit),
+                    strategy,
+                    shots: size,
+                    seed,
+                    reply: reply.clone(),
+                });
+            }
+            drop(reply);
+            while outstanding > 0 {
+                match results_rx.recv_timeout(SUPERVISE_TICK) {
+                    Ok((chunk, result)) => {
+                        outstanding -= 1;
+                        for (outcome, count) in result? {
+                            *merged.entry(outcome).or_insert(0) += count;
+                        }
+                        arrived[chunk] = true;
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        self.heal();
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            self.heal();
         }
         if let Some(lost) = arrived.iter().position(|&done| !done) {
-            return Err(ExecError::WorkerLost { job: lost });
+            return Err(ExecError::WorkerLost {
+                job: lost,
+                attempt: max_attempts - 1,
+            });
         }
         Ok(merged)
     }
@@ -674,6 +1018,9 @@ impl BackendPool {
             tasks_submitted: self.tasks_submitted.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            respawns: self.supervisor.respawns(),
+            retries: self.retries.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             per_worker: self
                 .worker_stats
                 .iter()
@@ -718,9 +1065,7 @@ impl BackendPool {
 impl Drop for BackendPool {
     fn drop(&mut self) {
         drop(self.sender.take());
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+        self.supervisor.join_all();
     }
 }
 
@@ -764,12 +1109,19 @@ impl Worker {
     /// policy factory wins), layered over the batch's shared frozen
     /// snapshot when one was built. Job isolation is the pool's
     /// determinism linchpin — see the module docs.
+    ///
+    /// When the job carries a `deadline`, whatever policy it ended up
+    /// with is wrapped in a [`DeadlineFactory`] — per-job overrides and
+    /// degradation fallbacks stay deadline-enforced alike. Returns the
+    /// deadline's fired flag so the caller can tell a deadline abort
+    /// from a policy's own abort.
     fn fresh_backend(
         &mut self,
         strategy: Option<Strategy>,
         policy: Option<&Arc<dyn PolicyFactory>>,
         snapshot: Option<Arc<SimSnapshot>>,
-    ) {
+        deadline: Option<Duration>,
+    ) -> Option<Arc<AtomicBool>> {
         if let Some(pkg) = self.backend.package_stats() {
             self.harvested_ct_hits += pkg.ct_hits;
             self.harvested_ct_misses += pkg.ct_misses;
@@ -784,16 +1136,70 @@ impl Worker {
         } else if let Some(strategy) = strategy {
             template = template.strategy(strategy);
         }
+        let mut fired = None;
+        if let Some(budget) = deadline {
+            let factory = DeadlineFactory::new(template.policy_factory_or_preset(), budget);
+            fired = Some(factory.fired_flag());
+            template = template.policy_factory(Arc::new(factory));
+        }
         self.backend = template.build_engine_backend_with_snapshot(snapshot);
+        fired
     }
 
-    fn run_job(
-        &mut self,
-        job: &PoolJob,
-        seed: u64,
-        snapshot: Option<Arc<SimSnapshot>>,
-    ) -> Result<PoolOutcome, ExecError> {
-        self.fresh_backend(job.strategy, job.policy.as_ref(), snapshot);
+    /// Executes one dispatch: fires any injected fault first (before
+    /// touching the backend, so a panic can never lose harvested
+    /// counters or leave a half-built package), selects the degraded
+    /// fallback policy when asked, and maps a deadline-triggered abort
+    /// to the typed [`ExecError::DeadlineExceeded`].
+    fn run_job(&mut self, spec: &RunSpec) -> Result<PoolOutcome, ExecError> {
+        if let Some(kind) = spec
+            .fault
+            .as_deref()
+            .and_then(|plan| plan.decide(spec.index, spec.attempt))
+        {
+            match kind {
+                FaultKind::Panic => std::panic::panic_any(InjectedPanic {
+                    job: spec.index,
+                    attempt: spec.attempt,
+                }),
+                FaultKind::Delay(delay) => thread::sleep(delay),
+                FaultKind::Abort => {
+                    return Err(ExecError::FaultInjected {
+                        job: spec.index,
+                        attempt: spec.attempt,
+                    })
+                }
+            }
+        }
+        let job = &spec.job;
+        let policy = if spec.degraded {
+            job.fallback.as_ref().or(job.policy.as_ref())
+        } else {
+            job.policy.as_ref()
+        };
+        let fired = self.fresh_backend(job.strategy, policy, spec.snapshot.clone(), spec.deadline);
+        match self.execute(job, spec.seed) {
+            Err(e)
+                if matches!(e, ExecError::Sim(SimError::PolicyAbort { .. }))
+                    && fired.as_ref().is_some_and(|f| f.load(Ordering::Relaxed)) =>
+            {
+                Err(ExecError::DeadlineExceeded {
+                    job: spec.index,
+                    attempt: spec.attempt,
+                    budget: spec.deadline.unwrap_or_default(),
+                })
+            }
+            Err(e) => Err(e),
+            Ok(mut outcome) => {
+                outcome.attempts = spec.attempt + 1;
+                outcome.degraded = spec.degraded;
+                Ok(outcome)
+            }
+        }
+    }
+
+    /// The dispatch-agnostic run body (backend already fresh).
+    fn execute(&mut self, job: &PoolJob, seed: u64) -> Result<PoolOutcome, ExecError> {
         let recorder = job.trace.then(|| {
             let recorder = TraceRecorder::shared();
             self.backend
@@ -836,6 +1242,10 @@ impl Worker {
             expectation,
             trace,
             worker: self.id,
+            // The dispatch wrapper (`run_job`) overwrites these with
+            // the attempt's actual coordinates.
+            attempts: 1,
+            degraded: false,
         })
     }
 
@@ -848,7 +1258,7 @@ impl Worker {
         seed: u64,
     ) -> Result<HashMap<u64, usize>, ExecError> {
         if self.epoch.as_ref().map(|(e, _)| *e) != Some(epoch) {
-            self.fresh_backend(strategy, None, None);
+            self.fresh_backend(strategy, None, None, None);
             let exe = self.backend.prepare(circuit)?;
             let outcome = self.backend.run(&exe)?;
             self.epoch = Some((epoch, outcome));
@@ -909,16 +1319,22 @@ fn worker_loop(
     depth: &AtomicUsize,
     stats: &Mutex<WorkerStats>,
 ) {
+    // A respawned worker adopts its slot's accumulated counters, so
+    // the harvest-on-retire totals survive a predecessor's death (all
+    // zeros on a first spawn — same code path). Injected panics fire
+    // before any backend work, so the dying worker's live package was
+    // already reflected in the cell by its last `note_task`.
+    let resume = stats.lock().unwrap_or_else(PoisonError::into_inner).clone();
     let mut worker = Worker {
         id,
         template: template.clone(),
         backend: template.clone().build_engine_backend(),
         epoch: None,
-        harvested_ct_hits: 0,
-        harvested_ct_misses: 0,
-        harvested_peak_nodes: 0,
-        harvested_snapshot_hits: 0,
-        harvested_snapshot_gate_hits: 0,
+        harvested_ct_hits: resume.ct_hits,
+        harvested_ct_misses: resume.ct_misses,
+        harvested_peak_nodes: resume.peak_nodes,
+        harvested_snapshot_hits: resume.snapshot_hits,
+        harvested_snapshot_gate_hits: resume.snapshot_gate_hits,
     };
     loop {
         // Hold the queue lock only for the dequeue, never while
@@ -933,15 +1349,9 @@ fn worker_loop(
         depth.fetch_sub(1, Ordering::Relaxed);
         let start = Instant::now();
         match task {
-            Task::Run {
-                index,
-                job,
-                seed,
-                snapshot,
-                reply,
-            } => {
-                let shots = job.shots;
-                let result = worker.run_job(&job, seed, snapshot);
+            Task::Run { spec, reply } => {
+                let shots = spec.job.shots;
+                let result = worker.run_job(&spec);
                 worker.note_task(
                     stats,
                     start.elapsed(),
@@ -949,7 +1359,7 @@ fn worker_loop(
                     true,
                     result.is_err(),
                 );
-                let _ = reply.send((index, result));
+                let _ = reply.send((spec.index, spec.attempt, spec.degraded, result));
             }
             Task::Sample {
                 epoch,

@@ -39,6 +39,13 @@ pub const DOMAIN_SAMPLE: u64 = 0x2;
 /// noise ops are a pure function of the trajectory index — never of
 /// worker count or scheduling).
 pub const DOMAIN_NOISE: u64 = 0x3;
+/// Seed domain of the fault-injection harness: a seeded
+/// [`crate::FaultPlan`] derives job `j`'s fault decision from
+/// `seed(DOMAIN_FAULT, j)`, so injected panics/delays/aborts land on
+/// the same job indices at every worker count — which is what makes
+/// the recovery paths (supervision, retry, deadlines) reproducibly
+/// testable. Test/bench only; no production path consumes this domain.
+pub const DOMAIN_FAULT: u64 = 0x4;
 
 impl SeedStream {
     /// A stream rooted at `root` (a pool's builder seed).
@@ -97,7 +104,7 @@ mod tests {
     fn seeds_have_no_trivial_collisions() {
         let s = SeedStream::new(0);
         let mut seen = std::collections::HashSet::new();
-        for domain in [DOMAIN_RUN, DOMAIN_SAMPLE, DOMAIN_NOISE] {
+        for domain in [DOMAIN_RUN, DOMAIN_SAMPLE, DOMAIN_NOISE, DOMAIN_FAULT] {
             for index in 0..4096 {
                 assert!(
                     seen.insert(s.seed(domain, index)),
@@ -126,6 +133,9 @@ mod tests {
             (DOMAIN_NOISE, 0, 0x2CE0_2C4E_E4D2_EA09),
             (DOMAIN_NOISE, 1, 0x5D39_6F90_8F79_BB0B),
             (DOMAIN_NOISE, 7, 0xAB2F_9774_6E2E_A953),
+            (DOMAIN_FAULT, 0, 0xE8DA_A970_75F9_D9E8),
+            (DOMAIN_FAULT, 1, 0xBEE2_E244_4F09_461F),
+            (DOMAIN_FAULT, 7, 0x5B5F_AB66_E103_2DC8),
         ] {
             assert_eq!(
                 s.seed(domain, index),
@@ -148,7 +158,7 @@ mod tests {
             fn distinct_domain_index_pairs_share_no_outputs(root in any::<u64>()) {
                 let s = SeedStream::new(root);
                 let mut seen = std::collections::HashMap::new();
-                for domain in [DOMAIN_RUN, DOMAIN_SAMPLE, DOMAIN_NOISE] {
+                for domain in [DOMAIN_RUN, DOMAIN_SAMPLE, DOMAIN_NOISE, DOMAIN_FAULT] {
                     for index in 0..512u64 {
                         let seed = s.seed(domain, index);
                         if let Some(prev) = seen.insert(seed, (domain, index)) {

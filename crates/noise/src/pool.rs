@@ -213,6 +213,14 @@ impl TrajectoryOutcome {
 /// determinism contract is identical — trajectory outcomes are
 /// byte-identical with snapshots on or off.
 ///
+/// The fault-tolerance layer is inherited the same way: a template's
+/// `retry(...)` / `job_deadline(...)` knobs apply to every trajectory
+/// job (trajectory batches are ordinary [`BackendPool::run_jobs`]
+/// submissions), worker deaths self-heal mid-batch, and because
+/// trajectory seeds are keyed on the trajectory index alone, a retried
+/// trajectory reproduces its original channel insertions and samples
+/// exactly.
+///
 /// # Examples
 ///
 /// ```
