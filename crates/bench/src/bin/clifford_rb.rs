@@ -26,8 +26,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use approxdd_backend::{AnyBackend, Backend, BuildBackend};
-use approxdd_bench::json::Json;
 use approxdd_circuit::generators;
+use approxdd_sim::json::Json;
 use approxdd_sim::{Engine, Simulator};
 
 /// Widths exercised by the sweep (the ISSUE's RB ladder).

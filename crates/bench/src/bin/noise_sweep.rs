@@ -20,9 +20,9 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use approxdd_bench::json::Json;
 use approxdd_circuit::{generators, Circuit};
 use approxdd_noise::{NoiseChannel, NoiseModel, NoisePool, TrajectoryConfig, TrajectoryOutcome};
+use approxdd_sim::json::Json;
 use approxdd_sim::{Simulator, Strategy};
 
 struct Cell {

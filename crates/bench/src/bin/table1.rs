@@ -30,13 +30,13 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use approxdd_bench::json::Json;
 use approxdd_bench::{
     fidelity_driven_row, format_rows, memory_driven_rows_pooled, pool_batch_walltime, workloads,
     TableRow,
 };
 use approxdd_circuit::generators;
 use approxdd_exec::PoolJob;
+use approxdd_sim::json::Json;
 use approxdd_sim::{Simulator, Strategy};
 
 fn main() -> ExitCode {

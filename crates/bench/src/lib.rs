@@ -21,8 +21,12 @@ use approxdd_exec::{BackendPool, PoolJob, PoolOutcome};
 use approxdd_shor::{factor, shor_circuit, FactorOptions};
 use approxdd_sim::{Simulator, SimulatorBuilder, Strategy};
 
-pub mod json;
 pub mod sweeps;
+
+/// Re-export of the shared JSON writer (promoted to `approxdd_sim`, so
+/// the job server and the bench binaries emit artifacts through one
+/// serializer); kept under the historical `approxdd_bench::json` path.
+pub use approxdd_sim::json;
 
 use json::Json;
 

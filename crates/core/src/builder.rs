@@ -48,6 +48,7 @@ pub struct SimulatorBuilder {
     share_snapshot: bool,
     retry: RetryPolicy,
     job_deadline: Option<Duration>,
+    queue_capacity: Option<usize>,
 }
 
 impl std::fmt::Debug for SimulatorBuilder {
@@ -63,6 +64,7 @@ impl std::fmt::Debug for SimulatorBuilder {
             .field("share_snapshot", &self.share_snapshot)
             .field("retry", &self.retry)
             .field("job_deadline", &self.job_deadline)
+            .field("queue_capacity", &self.queue_capacity)
             .finish()
     }
 }
@@ -81,6 +83,7 @@ impl SimulatorBuilder {
             share_snapshot: false,
             retry: RetryPolicy::default(),
             job_deadline: None,
+            queue_capacity: None,
         }
     }
 
@@ -342,6 +345,28 @@ impl SimulatorBuilder {
     #[must_use]
     pub fn job_deadline_budget(&self) -> Option<Duration> {
         self.job_deadline
+    }
+
+    /// Bounds the pool work queue for admission-checked submissions
+    /// (`BackendPool::run_jobs_admitted` in `approxdd-exec`): a
+    /// submission that would push the number of queued tasks past
+    /// `capacity` is rejected with a typed `QueueFull` error instead of
+    /// growing the queue without bound — the backpressure seam a
+    /// serving layer needs. Unset (the default) means unbounded, and
+    /// the plain `run_jobs`/`sample_counts` paths never consult the
+    /// bound (library batch callers keep their fire-and-collect
+    /// semantics). `capacity == 0` is clamped to 1 so an
+    /// admission-checked pool can always accept at least one task.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// The admission bound set via [`SimulatorBuilder::queue_capacity`]
+    /// (`None` = unbounded).
+    #[must_use]
+    pub fn queue_capacity_bound(&self) -> Option<usize> {
+        self.queue_capacity
     }
 
     /// Builds a frozen [`SimSnapshot`] warming every gate of the given

@@ -1,7 +1,10 @@
-//! A minimal JSON value + serializer, just enough for the benchmark
-//! binaries to emit machine-readable artifacts (CI uploads the smoke
-//! run's JSON per PR). Hand-rolled because the workspace builds fully
-//! offline — no serde.
+//! A minimal JSON value + serializer shared by the benchmark binaries
+//! (machine-readable artifacts CI uploads per PR) and the job server
+//! (`approxdd-server` response bodies and NDJSON event streams).
+//! Hand-rolled because the workspace builds fully offline — no serde.
+//!
+//! Non-finite numbers serialize as `null` (JSON's grammar has no
+//! NaN/Infinity), so every emitted document is valid JSON.
 
 use std::collections::HashMap;
 use std::fmt;

@@ -50,6 +50,7 @@
 mod builder;
 mod error;
 mod fusion;
+pub mod json;
 mod options;
 pub mod policy;
 mod schedule;

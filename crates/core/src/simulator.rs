@@ -219,6 +219,15 @@ impl SimSnapshot {
     pub fn package(&self) -> &PackageSnapshot {
         &self.package
     }
+
+    /// Simulators ever layered over this snapshot (one per pooled
+    /// worker job): the cross-batch reuse odometer warm serving
+    /// sessions report. Diagnostic only — never part of any result or
+    /// fingerprint.
+    #[must_use]
+    pub fn attaches(&self) -> u64 {
+        self.package.attaches()
+    }
 }
 
 /// A DD-based quantum circuit simulator with policy-controlled

@@ -33,6 +33,7 @@
 //!               private caches, GC        private caches, GC
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use approxdd_complex::{Cplx, Tolerance};
@@ -62,6 +63,11 @@ pub struct PackageSnapshot {
     pub(crate) munique: Arc<FrozenUnique>,
     pub(crate) ratio_canon: Arc<FxHashMap<(i64, i64), Cplx>>,
     pub(crate) ident_cache: Vec<MEdge>,
+    /// Packages ever layered over this snapshot (bumped by
+    /// [`Package::with_snapshot`]) — the cross-batch reuse odometer a
+    /// warm serving session reads to prove one frozen tier amortized
+    /// across many requests. Diagnostic only: never part of any result.
+    attaches: AtomicU64,
 }
 
 impl PackageSnapshot {
@@ -89,6 +95,15 @@ impl PackageSnapshot {
     #[must_use]
     pub fn frozen_nodes(&self) -> usize {
         self.frozen_vnodes() + self.frozen_mnodes()
+    }
+
+    /// How many packages have ever been layered over this snapshot
+    /// ([`Package::with_snapshot`] calls). One per worker job in pooled
+    /// execution, so a warm cross-batch session shows this climbing
+    /// while the frozen tier is built exactly once.
+    #[must_use]
+    pub fn attaches(&self) -> u64 {
+        self.attaches.load(Ordering::Relaxed)
     }
 }
 
@@ -120,6 +135,7 @@ impl Package {
             munique: Arc::new(self.munique.freeze()),
             ratio_canon: Arc::new(self.ratio_canon),
             ident_cache: self.ident_cache,
+            attaches: AtomicU64::new(0),
         }
     }
 
@@ -133,6 +149,7 @@ impl Package {
     /// inherited from the snapshot.
     #[must_use]
     pub fn with_snapshot(snapshot: &PackageSnapshot, cache_bits: Option<u32>) -> Self {
+        snapshot.attaches.fetch_add(1, Ordering::Relaxed);
         let bits = clamp_cache_bits(cache_bits.unwrap_or(DEFAULT_COMPUTE_CACHE_BITS));
         let no_key2 = (u32::MAX, u32::MAX);
         let no_key4 = (u32::MAX, u32::MAX, 0, 0);

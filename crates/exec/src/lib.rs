@@ -63,8 +63,8 @@ mod supervise;
 
 pub use fault::{silence_injected_panics, FaultKind, FaultPlan, InjectedPanic};
 pub use pool::{
-    BackendPool, BuildPool, PoolJob, PoolOutcome, PoolStats, SharedDiagonal, WorkerStats,
-    SHOT_CHUNK,
+    BackendPool, BuildPool, ChunkSettled, PoolJob, PoolOutcome, PoolStats, SharedDiagonal,
+    WorkerStats, SHOT_CHUNK,
 };
 pub use seed::{splitmix64, SeedStream, DOMAIN_FAULT, DOMAIN_NOISE, DOMAIN_RUN, DOMAIN_SAMPLE};
 
@@ -299,6 +299,140 @@ mod tests {
         let one = run(1);
         assert!(one.0 > 0, "warmed gates must be served from the snapshot");
         assert_eq!(one, run(3), "1-worker vs 3-worker snapshot counters");
+    }
+
+    /// The admission seam (satellite of the serving PR): submitting
+    /// past the bound returns the typed [`ExecError::QueueFull`]
+    /// immediately — it never blocks, and never enqueues anything — and
+    /// jobs admitted within the bound produce exactly the fingerprints
+    /// an unbounded pool produces, at 1, 2 and 8 workers.
+    #[test]
+    fn admission_bound_rejects_typed_and_never_blocks() {
+        use std::time::{Duration, Instant};
+        let circuits: Vec<_> = (0..3).map(|s| generators::supremacy(2, 3, 8, s)).collect();
+        let jobs = || {
+            circuits
+                .iter()
+                .map(|c| PoolJob::new(c.clone()).shots(128))
+                .collect::<Vec<_>>()
+        };
+        let want: Vec<u64> = Simulator::builder()
+            .workers(1)
+            .seed(11)
+            .build_pool()
+            .run_jobs(jobs())
+            .into_iter()
+            .map(|r| r.expect("unbounded job").fingerprint())
+            .collect();
+        for workers in [1, 2, 8] {
+            let pool = Simulator::builder()
+                .workers(workers)
+                .seed(11)
+                .queue_capacity(4)
+                .build_pool();
+            let oversized: Vec<_> = (0..8).map(|_| PoolJob::new(generators::ghz(4))).collect();
+            let start = Instant::now();
+            let err = pool
+                .run_jobs_admitted(oversized)
+                .expect_err("8 tasks past a capacity-4 bound");
+            assert!(
+                matches!(
+                    err,
+                    ExecError::QueueFull {
+                        queued: 0,
+                        submitted: 8,
+                        capacity: 4
+                    }
+                ),
+                "{err:?}"
+            );
+            assert!(
+                start.elapsed() < Duration::from_secs(2),
+                "admission rejection must be immediate"
+            );
+            // Nothing was enqueued by the rejection…
+            assert_eq!(pool.stats().tasks_submitted, 0);
+            // …and an in-bound submission runs to the same bits as the
+            // unbounded pool.
+            let got: Vec<u64> = pool
+                .run_jobs_admitted(jobs())
+                .expect("3 tasks fit a capacity-4 bound")
+                .into_iter()
+                .map(|r| r.expect("admitted job").fingerprint())
+                .collect();
+            assert_eq!(
+                got, want,
+                "admitted fingerprints diverge at {workers} workers"
+            );
+        }
+    }
+
+    /// Admission consults the *live* queue depth: while earlier
+    /// (delayed) work still occupies the queue, a submission that would
+    /// overflow the bound is rejected from another thread without
+    /// disturbing the in-flight batch.
+    #[test]
+    fn admission_sees_in_flight_queue_depth() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let pool = Arc::new(
+            Simulator::builder()
+                .workers(1)
+                .seed(3)
+                .queue_capacity(2)
+                .build_pool(),
+        );
+        pool.inject_faults(Some(
+            FaultPlan::new().delay_on(0..4, Duration::from_millis(120)),
+        ));
+        let busy = Arc::clone(&pool);
+        let batch = std::thread::spawn(move || {
+            busy.run_jobs((0..4).map(|_| PoolJob::new(generators::ghz(3))).collect())
+        });
+        // Wait (bounded) for the single worker to fall behind.
+        let mut saw_backlog = false;
+        for _ in 0..400 {
+            if pool.stats().queue_depth >= 2 {
+                saw_backlog = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(saw_backlog, "delayed jobs never backed the queue up");
+        let err = pool.try_admit(1).expect_err("queue is past the bound");
+        assert!(matches!(err, ExecError::QueueFull { .. }), "{err:?}");
+        // The rejected probe never perturbed the admitted batch.
+        for outcome in batch.join().expect("batch thread") {
+            outcome.expect("delayed job still succeeds");
+        }
+        pool.inject_faults(None);
+        assert!(pool.try_admit(1).is_ok(), "drained queue admits again");
+    }
+
+    /// The chunk-settlement callback streams every chunk exactly once,
+    /// with monotone progress, and the final view equals the returned
+    /// histogram — which stays byte-identical to the callback-free
+    /// path.
+    #[test]
+    fn streamed_sampling_reports_every_chunk_and_matches_plain() {
+        let circuit = generators::ghz(6);
+        let shots = 2 * SHOT_CHUNK + 17;
+        let pool = Simulator::builder().workers(3).seed(1).build_pool();
+        let plain = pool.sample_counts(&circuit, shots).expect("plain");
+        let mut seen = Vec::new();
+        let mut last_view = std::collections::HashMap::new();
+        let streamed = pool
+            .sample_counts_streamed(&circuit, None, shots, &mut |settled| {
+                assert_eq!(settled.chunks, 3);
+                assert_eq!(settled.settled, seen.len() + 1);
+                seen.push(settled.chunk);
+                last_view = settled.merged.clone();
+            })
+            .expect("streamed");
+        assert_eq!(streamed, plain);
+        assert_eq!(last_view, plain, "final partial view is the result");
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2], "each chunk settles exactly once");
     }
 
     #[test]

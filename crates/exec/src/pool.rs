@@ -487,6 +487,26 @@ impl PoolStats {
     }
 }
 
+/// A settled sharded-sampling chunk, as seen by the
+/// [`BackendPool::sample_counts_streamed`] callback: which chunk just
+/// merged, how far the request has progressed, and a borrowed view of
+/// the running merged histogram.
+#[derive(Debug)]
+pub struct ChunkSettled<'a> {
+    /// Index of the chunk that just settled (its seed key).
+    pub chunk: usize,
+    /// Total chunks in this request's decomposition.
+    pub chunks: usize,
+    /// Chunks settled so far, including this one.
+    pub settled: usize,
+    /// Shots merged so far, including this chunk's.
+    pub shots_settled: usize,
+    /// The merged histogram after this chunk. Intermediate views are
+    /// scheduling-dependent; only the final one (at `settled ==
+    /// chunks`) is deterministic.
+    pub merged: &'a HashMap<u64, usize>,
+}
+
 /// Reply channel of a run job: `(job index, attempt, degraded,
 /// outcome)` — the attempt/degraded echo lets the collector match a
 /// reply to the exact dispatch it answers.
@@ -755,8 +775,86 @@ impl BackendPool {
     /// along the way (see the module docs, *Fault tolerance*).
     #[must_use]
     pub fn run_jobs(&self, jobs: Vec<PoolJob>) -> Vec<Result<PoolOutcome, ExecError>> {
-        let n = jobs.len();
         let snapshot = self.batch_snapshot(&jobs);
+        self.run_jobs_inner(jobs, snapshot)
+    }
+
+    /// Checks the admission seam: would submitting `tasks` more tasks
+    /// right now stay within the template's
+    /// [`queue_capacity`](SimulatorBuilder::queue_capacity) bound?
+    /// Returns immediately either way — admission never blocks, and a
+    /// rejection enqueues nothing, so already-admitted work (and its
+    /// fingerprints) is untouched. Pools without a configured bound
+    /// admit everything.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::QueueFull`] when the submission would exceed the
+    /// bound.
+    pub fn try_admit(&self, tasks: usize) -> Result<(), ExecError> {
+        if let Some(capacity) = self.template.queue_capacity_bound() {
+            let queued = self.queue_depth.load(Ordering::Relaxed);
+            if queued + tasks > capacity {
+                return Err(ExecError::QueueFull {
+                    queued,
+                    submitted: tasks,
+                    capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`BackendPool::run_jobs`] behind the admission seam: the whole
+    /// submission is accepted or rejected atomically **before**
+    /// anything is enqueued. Serving layers use this as their
+    /// backpressure primitive (HTTP 429); plain `run_jobs` stays
+    /// unbounded for library batch callers.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::QueueFull`] when the template has a
+    /// [`queue_capacity`](SimulatorBuilder::queue_capacity) bound and
+    /// this submission would exceed it. Per-job failures still settle
+    /// inside the returned vector, exactly as with `run_jobs`.
+    pub fn run_jobs_admitted(
+        &self,
+        jobs: Vec<PoolJob>,
+    ) -> Result<Vec<Result<PoolOutcome, ExecError>>, ExecError> {
+        self.try_admit(jobs.len())?;
+        Ok(self.run_jobs(jobs))
+    }
+
+    /// [`BackendPool::run_jobs`] with an externally supplied frozen
+    /// snapshot instead of the per-batch one: the cross-batch reuse
+    /// seam behind warm serving sessions. The caller freezes a circuit
+    /// family once (e.g. [`SimulatorBuilder::build_snapshot`]) and
+    /// passes the same `Arc` to every subsequent batch of that family —
+    /// gate DDs are never rebuilt, and because a snapshot is a pure
+    /// function of (options, circuit list) the outcomes stay
+    /// byte-identical to a cold `run_jobs` call (the snapshot
+    /// equivalence contract of `tests/snapshot_equivalence.rs`).
+    ///
+    /// `None` runs the batch snapshot-free (no per-batch snapshot is
+    /// built, regardless of the template's `share_snapshot` knob). The
+    /// pure-tableau engine has no DD package: a supplied snapshot is
+    /// ignored there, exactly as in `run_jobs`.
+    #[must_use]
+    pub fn run_jobs_with_snapshot(
+        &self,
+        jobs: Vec<PoolJob>,
+        snapshot: Option<Arc<SimSnapshot>>,
+    ) -> Vec<Result<PoolOutcome, ExecError>> {
+        let snapshot = snapshot.filter(|_| self.template.engine_kind() != Engine::Stabilizer);
+        self.run_jobs_inner(jobs, snapshot)
+    }
+
+    fn run_jobs_inner(
+        &self,
+        jobs: Vec<PoolJob>,
+        snapshot: Option<Arc<SimSnapshot>>,
+    ) -> Vec<Result<PoolOutcome, ExecError>> {
+        let n = jobs.len();
         let fault = self
             .fault_plan
             .lock()
@@ -939,6 +1037,43 @@ impl BackendPool {
         strategy: Option<Strategy>,
         shots: usize,
     ) -> Result<HashMap<u64, usize>, ExecError> {
+        self.sample_counts_inner(circuit, strategy, shots, None)
+    }
+
+    /// [`BackendPool::sample_counts_with`] with a chunk-settlement
+    /// callback: `on_chunk` is invoked once per sampling chunk, right
+    /// after its histogram merges, with a [`ChunkSettled`] view of the
+    /// running totals — the streaming seam serving layers use to push
+    /// partial histograms to clients while the shot budget drains.
+    ///
+    /// Determinism caveat: the **final** merged histogram is exactly
+    /// the `sample_counts` result (chunk seeds are keyed on the chunk
+    /// index; merging is commutative), but the *settlement order* — and
+    /// with it every intermediate partial view — depends on scheduling,
+    /// so partials are progress reports, not reproducible results. A
+    /// retried chunk ([`RetryPolicy`]) settles (and reports) once, with
+    /// its original seed.
+    ///
+    /// # Errors
+    ///
+    /// See [`BackendPool::sample_counts`].
+    pub fn sample_counts_streamed(
+        &self,
+        circuit: &Circuit,
+        strategy: Option<Strategy>,
+        shots: usize,
+        on_chunk: &mut dyn FnMut(&ChunkSettled),
+    ) -> Result<HashMap<u64, usize>, ExecError> {
+        self.sample_counts_inner(circuit, strategy, shots, Some(on_chunk))
+    }
+
+    fn sample_counts_inner(
+        &self,
+        circuit: &Circuit,
+        strategy: Option<Strategy>,
+        shots: usize,
+        mut on_chunk: Option<&mut dyn FnMut(&ChunkSettled)>,
+    ) -> Result<HashMap<u64, usize>, ExecError> {
         if shots == 0 {
             return Ok(HashMap::new());
         }
@@ -952,6 +1087,8 @@ impl BackendPool {
         let max_attempts = template_retry.max_attempts.max(1);
         let mut merged: HashMap<u64, usize> = HashMap::new();
         let mut arrived = vec![false; chunks];
+        let mut settled = 0usize;
+        let mut shots_settled = 0usize;
         for attempt in 0..max_attempts {
             let missing: Vec<usize> = (0..chunks).filter(|&c| !arrived[c]).collect();
             if missing.is_empty() {
@@ -990,6 +1127,17 @@ impl BackendPool {
                             *merged.entry(outcome).or_insert(0) += count;
                         }
                         arrived[chunk] = true;
+                        settled += 1;
+                        shots_settled += SHOT_CHUNK.min(shots - chunk * SHOT_CHUNK);
+                        if let Some(callback) = on_chunk.as_deref_mut() {
+                            callback(&ChunkSettled {
+                                chunk,
+                                chunks,
+                                settled,
+                                shots_settled,
+                                merged: &merged,
+                            });
+                        }
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => {
                         self.heal();

@@ -1,0 +1,147 @@
+//! `serve` — run the approxdd job server from the command line.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--seed N] [--engine dd|stabilizer|hybrid]
+//!       [--queue N] [--sessions N] [--runners N] [--retry N]
+//!       [--quota-burst F --quota-refill F] [--addr-file PATH]
+//! ```
+//!
+//! Binds (port 0 picks an ephemeral port), prints the listening
+//! address, optionally writes it to `--addr-file` (how the CI smoke
+//! test discovers the port), and serves until `POST /shutdown`.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use approxdd_server::{JobServer, Quota, ServerConfig};
+use approxdd_sim::{Engine, RetryPolicy, Simulator};
+
+struct Args {
+    addr: String,
+    workers: Option<usize>,
+    seed: u64,
+    engine: Engine,
+    queue: usize,
+    sessions: usize,
+    runners: usize,
+    retry: u32,
+    quota_burst: Option<f64>,
+    quota_refill: Option<f64>,
+    addr_file: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: None,
+        seed: 0,
+        engine: Engine::Dd,
+        queue: 64,
+        sessions: 8,
+        runners: 1,
+        retry: 1,
+        quota_burst: None,
+        quota_refill: None,
+        addr_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.workers = Some(parse(&value("--workers")?, "--workers")?),
+            "--seed" => args.seed = parse(&value("--seed")?, "--seed")?,
+            "--engine" => {
+                args.engine = match value("--engine")?.as_str() {
+                    "dd" => Engine::Dd,
+                    "stabilizer" => Engine::Stabilizer,
+                    "hybrid" => Engine::Hybrid,
+                    other => return Err(format!("unknown engine {other:?}")),
+                }
+            }
+            "--queue" => args.queue = parse(&value("--queue")?, "--queue")?,
+            "--sessions" => args.sessions = parse(&value("--sessions")?, "--sessions")?,
+            "--runners" => args.runners = parse(&value("--runners")?, "--runners")?,
+            "--retry" => args.retry = parse(&value("--retry")?, "--retry")?,
+            "--quota-burst" => {
+                args.quota_burst = Some(parse(&value("--quota-burst")?, "--quota-burst")?);
+            }
+            "--quota-refill" => {
+                args.quota_refill = Some(parse(&value("--quota-refill")?, "--quota-refill")?);
+            }
+            "--addr-file" => args.addr_file = Some(value("--addr-file")?),
+            "--help" | "-h" => {
+                return Err("usage: serve [--addr HOST:PORT] [--workers N] [--seed N] \
+                     [--engine dd|stabilizer|hybrid] [--queue N] [--sessions N] \
+                     [--runners N] [--retry N] [--quota-burst F --quota-refill F] \
+                     [--addr-file PATH]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("bad value for {flag}: {raw:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut template = Simulator::builder()
+        .seed(args.seed)
+        .engine(args.engine)
+        .share_snapshot(true)
+        .retry(RetryPolicy::new(args.retry));
+    if let Some(workers) = args.workers {
+        template = template.workers(workers);
+    }
+    let mut config = ServerConfig::new()
+        .template(template)
+        .queue_capacity(args.queue)
+        .sessions(args.sessions)
+        .runners(args.runners);
+    if let (Some(burst), Some(refill_per_sec)) = (args.quota_burst, args.quota_refill) {
+        config = config.quota(Quota {
+            burst,
+            refill_per_sec,
+        });
+    }
+
+    let server = match JobServer::bind(&args.addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("serve listening on http://{addr}");
+    let _ = std::io::stdout().flush();
+    if let Some(path) = &args.addr_file {
+        if let Err(e) = std::fs::write(path, addr.to_string()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match server.run() {
+        Ok(()) => {
+            println!("serve drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

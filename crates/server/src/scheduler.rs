@@ -1,0 +1,231 @@
+//! Admission control: a bounded priority queue plus per-client
+//! token-bucket quotas.
+//!
+//! Admission happens *before* a job touches the [`approxdd_exec`]
+//! pool, and never blocks: a full queue or an empty bucket rejects
+//! immediately with a typed [`ServeError`] that maps to HTTP 429.
+//! Accepted jobs are ordered by descending priority, ties broken by
+//! submission order (FIFO within a priority band), so a burst of
+//! best-effort work cannot starve an urgent request — and two
+//! same-priority requests execute in arrival order, keeping the
+//! serving schedule deterministic for a deterministic client.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+use crate::error::ServeError;
+
+/// Per-client token-bucket quota: `burst` tokens capacity, refilled
+/// continuously at `refill_per_sec`. Each accepted job spends one
+/// token; a client with an empty bucket is rejected with HTTP 429
+/// until time refills it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quota {
+    /// Bucket capacity — the largest burst a client can submit
+    /// back-to-back.
+    pub burst: f64,
+    /// Sustained tokens per second.
+    pub refill_per_sec: f64,
+}
+
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct QueuedJob {
+    priority: i32,
+    seq: u64,
+    job: u64,
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher priority first, then earlier sequence.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The bounded priority queue with quota enforcement. Callers hold it
+/// behind a mutex; every method is constant-time-ish and non-blocking.
+#[derive(Debug)]
+pub struct Scheduler {
+    capacity: usize,
+    heap: BinaryHeap<QueuedJob>,
+    next_seq: u64,
+    quota: Option<Quota>,
+    buckets: HashMap<String, TokenBucket>,
+    rejected_queue_full: u64,
+    rejected_quota: u64,
+    admitted: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler admitting at most `capacity` queued jobs,
+    /// with optional per-client quotas.
+    #[must_use]
+    pub fn new(capacity: usize, quota: Option<Quota>) -> Self {
+        Scheduler {
+            capacity: capacity.max(1),
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            quota,
+            buckets: HashMap::new(),
+            rejected_queue_full: 0,
+            rejected_quota: 0,
+            admitted: 0,
+        }
+    }
+
+    /// Tries to admit job `job` for `client` at `priority`. Never
+    /// blocks: either the job is queued, or a typed backpressure
+    /// error comes back immediately.
+    pub fn admit(&mut self, client: &str, priority: i32, job: u64) -> Result<(), ServeError> {
+        if self.heap.len() >= self.capacity {
+            self.rejected_queue_full += 1;
+            return Err(ServeError::QueueFull {
+                queued: self.heap.len(),
+                capacity: self.capacity,
+            });
+        }
+        if let Some(quota) = self.quota {
+            let now = Instant::now();
+            let bucket = self
+                .buckets
+                .entry(client.to_string())
+                .or_insert(TokenBucket {
+                    tokens: quota.burst,
+                    last_refill: now,
+                });
+            let elapsed = now.duration_since(bucket.last_refill).as_secs_f64();
+            bucket.tokens = (bucket.tokens + elapsed * quota.refill_per_sec).min(quota.burst);
+            bucket.last_refill = now;
+            if bucket.tokens < 1.0 {
+                self.rejected_quota += 1;
+                return Err(ServeError::QuotaExhausted {
+                    client: client.to_string(),
+                });
+            }
+            bucket.tokens -= 1.0;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedJob { priority, seq, job });
+        self.admitted += 1;
+        Ok(())
+    }
+
+    /// Pops the highest-priority (earliest within a band) queued job.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.heap.pop().map(|q| q.job)
+    }
+
+    /// Jobs currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Jobs admitted over the scheduler's lifetime.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Submissions rejected because the queue was full.
+    #[must_use]
+    pub fn rejected_queue_full(&self) -> u64 {
+        self.rejected_queue_full
+    }
+
+    /// Submissions rejected because the client's bucket ran dry.
+    #[must_use]
+    pub fn rejected_quota(&self) -> u64 {
+        self.rejected_quota
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_bands_pop_fifo_within_band() {
+        let mut s = Scheduler::new(16, None);
+        s.admit("a", 0, 1).unwrap();
+        s.admit("a", 5, 2).unwrap();
+        s.admit("a", 0, 3).unwrap();
+        s.admit("a", 5, 4).unwrap();
+        assert_eq!(
+            [s.pop(), s.pop(), s.pop(), s.pop()],
+            [Some(2), Some(4), Some(1), Some(3)]
+        );
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects_typed() {
+        let mut s = Scheduler::new(2, None);
+        s.admit("a", 0, 1).unwrap();
+        s.admit("a", 0, 2).unwrap();
+        match s.admit("a", 0, 3) {
+            Err(ServeError::QueueFull { queued, capacity }) => {
+                assert_eq!((queued, capacity), (2, 2));
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(s.rejected_queue_full(), 1);
+        assert_eq!(s.admitted(), 2);
+        // Draining makes room again.
+        assert!(s.pop().is_some());
+        s.admit("a", 0, 3).unwrap();
+    }
+
+    #[test]
+    fn quota_rejects_per_client_and_refills() {
+        let quota = Quota {
+            burst: 2.0,
+            refill_per_sec: 1000.0,
+        };
+        let mut s = Scheduler::new(64, Some(quota));
+        s.admit("alice", 0, 1).unwrap();
+        s.admit("alice", 0, 2).unwrap();
+        // Timing-tolerant: keep submitting in a tight loop until the
+        // bucket runs dry instead of asserting on the exact third
+        // call (the 1000/s refill could sneak a token in between).
+        let mut rejected = false;
+        for job in 3..40 {
+            if matches!(
+                s.admit("alice", 0, job),
+                Err(ServeError::QuotaExhausted { .. })
+            ) {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "sustained burst must exhaust the bucket");
+        // An unrelated client is unaffected.
+        s.admit("bob", 0, 100).unwrap();
+        // Waiting refills alice.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        s.admit("alice", 0, 200).unwrap();
+        assert!(s.rejected_quota() >= 1);
+    }
+}

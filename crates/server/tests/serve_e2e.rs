@@ -1,0 +1,321 @@
+//! End-to-end serving tests over real TCP: the acceptance contract is
+//! that the final streamed `result` event's fingerprint is
+//! byte-identical to a direct [`BackendPool::run_jobs`] call for the
+//! same (QASM, policy, seed, shots) — cold, warm, and after a worker
+//! respawn — at every worker count, and that backpressure comes back
+//! as typed HTTP 429 without ever blocking the submitter.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use approxdd_circuit::generators;
+use approxdd_circuit::qasm::{from_qasm, to_qasm};
+use approxdd_exec::{BackendPool, FaultPlan, PoolJob};
+use approxdd_server::{JobServer, Quota, ServerConfig};
+use approxdd_sim::{RetryPolicy, Simulator, SimulatorBuilder};
+
+/// Sends one raw HTTP request and returns (status, whole body).
+fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Pulls the string value of `"key":"..."` out of a JSON-ish line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Pulls the numeric value following `"key":`.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    digits.parse().ok()
+}
+
+/// Submits QASM and returns the job's full NDJSON stream.
+fn submit_and_stream(addr: SocketAddr, target: &str, qasm: &str) -> String {
+    let (status, body) = http(addr, "POST", target, qasm);
+    assert_eq!(status, 202, "submission failed: {body}");
+    let job = num_field(&body, "job").expect("job id in 202 body") as u64;
+    let (status, stream) = http(addr, "GET", &format!("/jobs/{job}"), "");
+    assert_eq!(status, 200);
+    stream
+}
+
+/// The fingerprint carried by the stream's final `result` event.
+fn stream_fingerprint(stream: &str) -> String {
+    let result_line = stream
+        .lines()
+        .find(|l| l.contains("\"type\":\"result\""))
+        .unwrap_or_else(|| panic!("no result event in stream:\n{stream}"));
+    str_field(result_line, "fingerprint").expect("fingerprint field")
+}
+
+fn template(workers: usize) -> SimulatorBuilder {
+    Simulator::builder()
+        .seed(7)
+        .workers(workers)
+        .share_snapshot(true)
+}
+
+fn start(config: ServerConfig) -> (SocketAddr, thread::JoinHandle<()>) {
+    let server = JobServer::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr, handle: thread::JoinHandle<()>) {
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread");
+}
+
+/// The acceptance criterion, verbatim: same (QASM, policy, seed,
+/// shots) through the server — cold session, then warm — equals a
+/// direct pool run's fingerprint, at 1, 2 and 8 workers.
+#[test]
+fn streamed_fingerprint_matches_direct_pool_run_cold_and_warm() {
+    let qasm = to_qasm(&generators::ghz(6)).expect("export qasm");
+    let circuit = from_qasm(&qasm).expect("reimport qasm");
+    for workers in [1usize, 2, 8] {
+        let direct_pool = BackendPool::new(template(workers));
+        let direct = direct_pool
+            .run_jobs(vec![PoolJob::new(circuit.clone()).shots(256)])
+            .pop()
+            .expect("one result")
+            .expect("direct run succeeds");
+        let want = format!("{:016x}", direct.fingerprint());
+
+        let (addr, handle) = start(ServerConfig::new().template(template(workers)));
+        let cold = submit_and_stream(addr, "/jobs?shots=256", &qasm);
+        assert!(
+            cold.contains("\"warm\":false"),
+            "first request of a family must be cold:\n{cold}"
+        );
+        let warm = submit_and_stream(addr, "/jobs?shots=256", &qasm);
+        assert!(
+            warm.contains("\"warm\":true"),
+            "second request of the same family must hit the session:\n{warm}"
+        );
+        assert_eq!(stream_fingerprint(&cold), want, "cold at {workers} workers");
+        assert_eq!(stream_fingerprint(&warm), want, "warm at {workers} workers");
+
+        let (status, stats) = http(addr, "GET", "/stats", "");
+        assert_eq!(status, 200);
+        let hits = num_field(&stats, "session_hits").expect("session_hits in stats");
+        assert!(hits >= 1.0, "stats must prove the warm hit: {stats}");
+        shutdown(addr, handle);
+    }
+}
+
+/// A worker death + respawn between attempts must not move the
+/// fingerprint: retry seeds are keyed on the job, never the attempt.
+#[test]
+fn fingerprint_survives_worker_respawn() {
+    let qasm = to_qasm(&generators::ghz(5)).expect("export qasm");
+    let circuit = from_qasm(&qasm).expect("reimport qasm");
+    let direct = BackendPool::new(template(2))
+        .run_jobs(vec![PoolJob::new(circuit).shots(128)])
+        .pop()
+        .expect("one result")
+        .expect("direct run succeeds");
+    let want = format!("{:016x}", direct.fingerprint());
+
+    let config = ServerConfig::new().template(template(2).retry(RetryPolicy::new(2)));
+    let server = JobServer::bind("127.0.0.1:0", config).expect("bind");
+    // Every server job is submitted as its own single-job batch, so
+    // job index 0 panics on its first attempt — a worker dies, the
+    // supervisor respawns it, the retry succeeds.
+    server
+        .pool()
+        .inject_faults(Some(FaultPlan::new().panic_on([0])));
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+
+    let stream = submit_and_stream(addr, "/jobs?shots=128", &qasm);
+    assert_eq!(stream_fingerprint(&stream), want);
+    assert!(
+        stream.contains("\"attempts\":2"),
+        "the retry must be visible as a diagnostic:\n{stream}"
+    );
+    let (_, stats) = http(addr, "GET", "/stats", "");
+    let respawns = num_field(&stats, "respawns").expect("respawns in stats");
+    assert!(respawns >= 1.0, "a worker must have respawned: {stats}");
+    shutdown(addr, handle);
+}
+
+/// Backpressure: a full scheduler queue answers 429/queue_full
+/// immediately; a drained quota bucket answers 429/quota_exhausted;
+/// neither ever blocks the submitting connection.
+#[test]
+fn backpressure_is_typed_and_immediate() {
+    let qasm = to_qasm(&generators::ghz(4)).expect("export qasm");
+    let config = ServerConfig::new()
+        .template(template(1))
+        .queue_capacity(1)
+        .quota(Quota {
+            burst: 3.0,
+            refill_per_sec: 0.001,
+        });
+    let server = JobServer::bind("127.0.0.1:0", config).expect("bind");
+    // Slow the first pool task down so submissions pile up behind it.
+    server.pool().inject_faults(Some(
+        FaultPlan::new().delay_on(0..1, Duration::from_millis(300)),
+    ));
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+
+    let (status, _) = http(addr, "POST", "/jobs?shots=32&client=alice", &qasm);
+    assert_eq!(status, 202);
+    // Give the runner a beat to pop job 1 into execution (where the
+    // injected delay holds it), freeing the queue slot for job 2.
+    thread::sleep(Duration::from_millis(100));
+    let (status, _) = http(addr, "POST", "/jobs?shots=32&client=alice", &qasm);
+    assert_eq!(status, 202);
+
+    let started = std::time::Instant::now();
+    let (status, body) = http(addr, "POST", "/jobs?shots=32&client=alice", &qasm);
+    assert_eq!(status, 429, "third submission must be rejected: {body}");
+    assert!(body.contains("queue_full"), "typed kind expected: {body}");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "backpressure must not block"
+    );
+
+    // Wait out the queue, then exhaust the quota (burst 3, two spent).
+    thread::sleep(Duration::from_millis(700));
+    let (status, _) = http(addr, "POST", "/jobs?shots=32&client=alice", &qasm);
+    assert_eq!(status, 202);
+    let (status, body) = http(addr, "POST", "/jobs?shots=32&client=alice", &qasm);
+    assert_eq!(status, 429, "quota must be spent: {body}");
+    assert!(body.contains("quota_exhausted"), "typed kind: {body}");
+    // A different client has its own bucket.
+    let (status, _) = http(addr, "POST", "/jobs?shots=32&client=bob", &qasm);
+    assert_eq!(status, 202);
+    shutdown(addr, handle);
+}
+
+/// Malformed inputs map to typed 4xx responses, not hangs or 500s.
+#[test]
+fn bad_requests_are_typed() {
+    let (addr, handle) = start(ServerConfig::new().template(template(1)));
+    let (status, body) = http(addr, "POST", "/jobs", "not qasm at all");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("bad_request"));
+    let (status, body) = http(addr, "GET", "/jobs/9999", "");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("not_found"));
+    let (status, _) = http(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let qasm = to_qasm(&generators::ghz(3)).expect("export qasm");
+    let (status, body) = http(addr, "POST", "/jobs?policy=bogus", &qasm);
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = http(addr, "POST", "/jobs?shots=many", &qasm);
+    assert_eq!(status, 400, "{body}");
+    shutdown(addr, handle);
+}
+
+/// Partial histograms stream as sampling chunks settle, and the final
+/// sharded histogram equals a direct `sample_counts` of the same
+/// request (the run fingerprint rides a separate, unaffected path).
+#[test]
+fn partials_stream_and_settle_deterministically() {
+    let qasm = to_qasm(&generators::ghz(5)).expect("export qasm");
+    let circuit = from_qasm(&qasm).expect("reimport qasm");
+    let shots = 3000; // > SHOT_CHUNK so at least two chunks settle
+    let direct = BackendPool::new(template(2))
+        .sample_counts(&circuit, shots)
+        .expect("direct sampling");
+    let direct_json = approxdd_sim::json::Json::counts(&direct).to_string();
+
+    let (addr, handle) = start(ServerConfig::new().template(template(2)));
+    let stream = submit_and_stream(addr, &format!("/jobs?shots={shots}&partials=1"), &qasm);
+    let partials: Vec<&str> = stream
+        .lines()
+        .filter(|l| l.contains("\"type\":\"partial\""))
+        .collect();
+    assert!(partials.len() >= 2, "expected ≥ 2 partials:\n{stream}");
+    let histogram = stream
+        .lines()
+        .find(|l| l.contains("\"type\":\"histogram\""))
+        .expect("final sharded histogram event");
+    assert!(
+        histogram.contains(&direct_json),
+        "sharded histogram must match direct sampling\nwant {direct_json}\ngot {histogram}"
+    );
+    // The run result still settles after the histogram.
+    assert!(stream.contains("\"type\":\"result\""));
+    shutdown(addr, handle);
+}
+
+/// Graceful drain: jobs admitted before `POST /shutdown` still
+/// execute and stream to completion; `run()` returns cleanly.
+#[test]
+fn shutdown_drains_admitted_jobs() {
+    let qasm = to_qasm(&generators::ghz(4)).expect("export qasm");
+    let config = ServerConfig::new().template(template(1));
+    let server = JobServer::bind("127.0.0.1:0", config).expect("bind");
+    server.pool().inject_faults(Some(
+        FaultPlan::new().delay_on(0..1, Duration::from_millis(200)),
+    ));
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+
+    let (status, body) = http(addr, "POST", "/jobs?shots=64", &qasm);
+    assert_eq!(status, 202);
+    let job = num_field(&body, "job").expect("job id") as u64;
+    // Attach the stream *before* shutting down: the drain must keep
+    // this connection open until the delayed job settles.
+    let reader = thread::spawn(move || http(addr, "GET", &format!("/jobs/{job}"), ""));
+    thread::sleep(Duration::from_millis(50));
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("server drains");
+    let (status, stream) = reader.join().expect("stream thread");
+    assert_eq!(status, 200);
+    assert!(
+        stream.contains("\"type\":\"result\""),
+        "the admitted job must settle through the drain:\n{stream}"
+    );
+    // New submissions during/after the drain are refused, not queued.
+    if let Ok(mut late) = TcpStream::connect(addr) {
+        let _ = write!(
+            late,
+            "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"
+        );
+        let mut response = String::new();
+        let _ = late.read_to_string(&mut response);
+        assert!(
+            response.is_empty() || response.contains("503") || response.contains("400"),
+            "late submission must not be admitted: {response}"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Property: promoting snapshots from per-batch to cross-batch via
+//! the [`SessionCache`] is invisible in results. For random circuit
+//! families, the fingerprint of a pooled run is identical whether the
+//! session is cold (no snapshot), warm (cached snapshot), or
+//! *re-frozen* — evicted by LRU pressure and rebuilt from scratch —
+//! because a snapshot is a pure function of (options, circuit) and
+//! layering over it is bitwise-neutral (the PR 7 contract).
+
+use std::sync::Arc;
+
+use approxdd_circuit::generators;
+use approxdd_exec::{BuildPool, PoolJob};
+use approxdd_server::{family_hash, SessionCache};
+use approxdd_sim::{Simulator, SimulatorBuilder, Strategy};
+use proptest::prelude::*;
+
+fn template(seed: u64, workers: usize) -> SimulatorBuilder {
+    Simulator::builder()
+        .seed(seed)
+        .workers(workers)
+        .share_snapshot(true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn warm_cold_and_refrozen_sessions_fingerprint_identically(
+        n in 3usize..6,
+        depth in 4usize..9,
+        seed in 0u64..500,
+        workers in 1usize..4
+    ) {
+        let circuit = generators::random_circuit(n, depth, seed);
+        let other = generators::qft(n); // a different family, for eviction pressure
+        let builder = template(seed, workers);
+        let pool = builder.clone().build_pool();
+        let job = || {
+            vec![PoolJob::new(circuit.clone())
+                .shots(64)
+                .strategy(Strategy::memory_driven_table1(48, 0.9))]
+        };
+        let fingerprint = |results: Vec<Result<approxdd_exec::PoolOutcome, _>>| {
+            results
+                .into_iter()
+                .next()
+                .expect("one result")
+                .expect("job succeeds")
+                .fingerprint()
+        };
+
+        // Cold: no snapshot at all.
+        let cold = fingerprint(pool.run_jobs_with_snapshot(job(), None));
+
+        // Warm: first request freezes and caches, second hits.
+        let mut cache = SessionCache::new(1);
+        let family = family_hash(&circuit);
+        prop_assert!(cache.get(family).is_none());
+        let frozen = Arc::new(builder.build_snapshot([&circuit]).expect("freeze"));
+        cache.insert(family, frozen);
+        let hit = cache.get(family).expect("warm hit");
+        let warm = fingerprint(pool.run_jobs_with_snapshot(job(), Some(hit)));
+        prop_assert_eq!(cold, warm, "warm must equal cold");
+
+        // Evict by caching a different family (capacity 1), then
+        // re-freeze the original and run again: the rebuilt frozen
+        // tier must pin the same canonicalization history.
+        let other_frozen = Arc::new(builder.build_snapshot([&other]).expect("freeze other"));
+        cache.insert(family_hash(&other), other_frozen);
+        prop_assert!(cache.get(family).is_none(), "LRU must have evicted the family");
+        let refrozen = Arc::new(builder.build_snapshot([&circuit]).expect("re-freeze"));
+        let canonical = cache.insert(family, refrozen);
+        let rewarm = fingerprint(pool.run_jobs_with_snapshot(job(), Some(canonical)));
+        prop_assert_eq!(cold, rewarm, "re-frozen must equal cold");
+
+        let stats = cache.stats();
+        // Two evictions in a capacity-1 cache: `other` pushed the
+        // family out, and re-caching the family pushed `other` out.
+        prop_assert_eq!(stats.evictions, 2);
+        prop_assert!(stats.hits >= 1);
+    }
+}

@@ -28,6 +28,9 @@
 //!   channels ([`circuit::noise`]), a pooled Monte-Carlo trajectory
 //!   driver ([`noise::NoisePool`]), and an exact density-matrix
 //!   baseline for validation,
+//! * [`server`] — simulation as a service: a std-only HTTP job
+//!   server with bounded-queue admission, warm snapshot sessions and
+//!   NDJSON result streaming over the pool,
 //! * [`shor`] — Shor's algorithm end-to-end.
 //!
 //! # Quickstart
@@ -76,6 +79,7 @@ pub use approxdd_complex as complex;
 pub use approxdd_dd as dd;
 pub use approxdd_exec as exec;
 pub use approxdd_noise as noise;
+pub use approxdd_server as server;
 pub use approxdd_shor as shor;
 pub use approxdd_sim as sim;
 pub use approxdd_stabilizer as stabilizer;
