@@ -1,7 +1,8 @@
 //! Hybrid Clifford-prefix dispatch: tableau first, DD for the rest.
 
 use std::collections::HashMap;
-use std::time::Instant;
+
+use approxdd_telemetry::Span;
 
 use approxdd_circuit::Circuit;
 use approxdd_complex::Cplx;
@@ -178,7 +179,7 @@ impl Backend for HybridBackend {
     }
 
     fn run(&mut self, exe: &Executable) -> Result<RunOutcome<HybridHandle>> {
-        let start = Instant::now();
+        let span = Span::enter("hybrid.run");
         let n = exe.n_qubits();
         let circuit = exe.circuit();
         let ops = circuit.ops();
@@ -202,7 +203,7 @@ impl Backend for HybridBackend {
                 fidelity_lower_bound: 1.0,
                 policy: "exact".to_string(),
                 nodes_removed: 0,
-                runtime: start.elapsed(),
+                runtime: span.finish(),
                 size_series: Vec::new(),
                 dd: None,
                 engine: "hybrid",
@@ -226,7 +227,7 @@ impl Backend for HybridBackend {
         stats.clifford_prefix_len = prefix;
         stats.gates_applied += prefix_gates;
         stats.peak_size = stats.peak_size.max(tableau.storage_words());
-        stats.runtime = start.elapsed();
+        stats.runtime = span.finish();
         Ok(RunOutcome::new(
             stats,
             n,

@@ -1,7 +1,8 @@
 //! [`Backend`] over the stabilizer-tableau engine.
 
 use std::collections::HashMap;
-use std::time::Instant;
+
+use approxdd_telemetry::Span;
 
 use approxdd_circuit::Circuit;
 use approxdd_complex::Cplx;
@@ -92,7 +93,7 @@ impl Backend for StabilizerBackend {
     }
 
     fn run(&mut self, exe: &Executable) -> Result<RunOutcome<Tableau>> {
-        let start = Instant::now();
+        let span = Span::enter("stab.run");
         let mut tableau = Tableau::new(exe.n_qubits());
         let mut gates_applied = 0;
         for (index, op) in exe.circuit().ops().iter().enumerate() {
@@ -108,7 +109,7 @@ impl Backend for StabilizerBackend {
             fidelity_lower_bound: 1.0,
             policy: "exact".to_string(),
             nodes_removed: 0,
-            runtime: start.elapsed(),
+            runtime: span.finish(),
             size_series: Vec::new(),
             dd: None,
             engine: "stabilizer",

@@ -1,7 +1,8 @@
 //! [`Backend`] over the dense statevector baseline.
 
 use std::collections::HashMap;
-use std::time::Instant;
+
+use approxdd_telemetry::Span;
 
 use approxdd_circuit::Circuit;
 use approxdd_complex::Cplx;
@@ -67,7 +68,7 @@ impl Backend for StatevectorBackend {
     }
 
     fn run(&mut self, exe: &Executable) -> Result<RunOutcome<State>> {
-        let start = Instant::now();
+        let span = Span::enter("sv.run");
         let state = statevector::run_circuit(exe.circuit())?;
         let stats = BackendStats {
             gates_applied: exe.circuit().gate_count(),
@@ -77,7 +78,7 @@ impl Backend for StatevectorBackend {
             fidelity_lower_bound: 1.0,
             policy: "exact".to_string(),
             nodes_removed: 0,
-            runtime: start.elapsed(),
+            runtime: span.finish(),
             size_series: Vec::new(),
             dd: None,
             engine: "statevector",

@@ -177,6 +177,9 @@ fn main() -> ExitCode {
             ("wall_seconds", Json::Num(start.elapsed().as_secs_f64())),
             ("failures", Json::int(failures)),
             ("rows", Json::Arr(rows)),
+            // Phase-time breakdown and top counters from the process
+            // telemetry registry (same series as `GET /metrics`).
+            ("telemetry", approxdd_sim::ndjson::telemetry_json()),
         ]);
         match std::fs::write(&path, report.to_string()) {
             Ok(()) => eprintln!("wrote {path}"),

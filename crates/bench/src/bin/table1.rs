@@ -209,6 +209,13 @@ fn main() -> ExitCode {
                 "rows".to_string(),
                 Json::Arr(rows.iter().map(TableRow::to_json).collect()),
             ),
+            // Phase-time breakdown and top counters from the process
+            // telemetry registry — the same series `GET /metrics`
+            // exposes, here as JSON for CI archiving.
+            (
+                "telemetry".to_string(),
+                approxdd_sim::ndjson::telemetry_json(),
+            ),
         ];
         if let Some(probe) = speedup.flatten() {
             report.push(("pool_speedup".to_string(), probe));

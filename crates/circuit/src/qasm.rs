@@ -154,6 +154,15 @@ fn gate_call(g: Gate) -> String {
 /// [`QasmError::Parse`] with the offending line on malformed input or
 /// constructs outside the subset.
 pub fn from_qasm(src: &str) -> Result<Circuit, QasmError> {
+    let span = approxdd_telemetry::Span::enter("qasm.parse");
+    let result = from_qasm_inner(src);
+    let _ = span.finish();
+    let result_label = if result.is_ok() { "ok" } else { "error" };
+    approxdd_telemetry::count_with("approxdd_qasm_parses_total", &[("result", result_label)], 1);
+    result
+}
+
+fn from_qasm_inner(src: &str) -> Result<Circuit, QasmError> {
     let mut circuit: Option<Circuit> = None;
     for (lineno, raw) in src.lines().enumerate() {
         let line = lineno + 1;

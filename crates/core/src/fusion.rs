@@ -55,7 +55,7 @@ impl Simulator {
     pub fn run_fused(&mut self, circuit: &Circuit, window: usize) -> Result<RunResult> {
         assert!(window > 0, "fusion window must be positive");
         circuit.validate()?;
-        let start = std::time::Instant::now();
+        let span = approxdd_telemetry::Span::enter("dd.run_fused");
         let n = circuit.n_qubits();
         let mut state = self.package_mut().zero_state(n);
         self.package_mut().inc_ref(state);
@@ -97,7 +97,7 @@ impl Simulator {
         }
 
         stats.package = self.package().stats();
-        stats.runtime = start.elapsed();
+        stats.runtime = span.finish();
         Ok(RunResult::new(state, n, stats))
     }
 }

@@ -51,6 +51,7 @@ mod builder;
 mod error;
 mod fusion;
 pub mod json;
+pub mod ndjson;
 mod options;
 pub mod policy;
 mod schedule;

@@ -3,10 +3,11 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use approxdd_circuit::{Circuit, Operation};
 use approxdd_dd::{MEdge, Package, PackageSnapshot, RemovalStrategy, VEdge};
+use approxdd_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -188,6 +189,7 @@ impl SimSnapshot {
         options: &SimOptions,
         circuits: impl IntoIterator<Item = &'a Circuit>,
     ) -> Result<Self> {
+        let _span = telemetry::Span::enter("snapshot.build");
         let mut sim = Simulator::seeded(*options, DEFAULT_SAMPLE_SEED);
         for circuit in circuits {
             for op in circuit.ops() {
@@ -428,7 +430,8 @@ impl Simulator {
                 circuit: circuit.n_qubits(),
             });
         }
-        let start = Instant::now();
+        let run_span = telemetry::Span::enter("dd.run");
+        let apply_timer = telemetry::PhaseTimer::new("dd.apply");
 
         let mut state = initial;
         self.package.inc_ref(state);
@@ -470,7 +473,7 @@ impl Simulator {
                         return Err(e);
                     }
                 };
-                let new_state = self.package.apply(gate, state);
+                let new_state = apply_timer.time(|| self.package.apply(gate, state));
                 self.swap_root(&mut state, new_state);
                 stats.gates_applied += 1;
 
@@ -553,7 +556,7 @@ impl Simulator {
 
         stats.final_threshold = policy.node_threshold();
         stats.package = self.package.stats();
-        stats.runtime = start.elapsed();
+        stats.runtime = run_span.finish();
         self.emit(|| TraceEvent::RunFinished {
             gates_applied: stats.gates_applied,
             rounds: stats.approx_rounds,
@@ -648,6 +651,7 @@ impl Simulator {
         round_fidelity: f64,
         stats: &mut SimStats,
     ) -> Result<()> {
+        let span = telemetry::Span::enter("dd.truncate");
         let budget = 1.0 - round_fidelity;
         let result = match self.options.primitive {
             crate::ApproxPrimitive::Nodes => self
@@ -673,6 +677,12 @@ impl Simulator {
             stats.approx_rounds += 1;
             stats.round_fidelities.push(1.0);
         }
+        let _ = span.finish();
+        telemetry::count("approxdd_truncation_rounds_total", 1);
+        telemetry::count(
+            "approxdd_truncated_nodes_total",
+            result.removed_nodes as u64,
+        );
         Ok(())
     }
 
@@ -738,6 +748,7 @@ impl Simulator {
         if let Some(&(e, _)) = self.gate_cache.get(&key) {
             return Ok(e);
         }
+        let build_span = telemetry::Span::enter("dd.gate_build");
         // For pointer-keyed entries, clone the table's Arc into the
         // cache: while the guard lives, the allocation cannot be freed
         // and recycled at the same address by an unrelated circuit.
@@ -765,6 +776,7 @@ impl Simulator {
         };
         self.package.inc_ref_m(edge);
         self.gate_cache.insert(key, (edge, guard));
+        let _ = build_span.finish();
         Ok(edge)
     }
 

@@ -27,6 +27,7 @@ impl Package {
     /// Edges not registered as roots (and not reachable from one) become
     /// dangling; callers must re-register or forget them.
     pub fn collect_garbage(&mut self) -> GcStats {
+        let span = approxdd_telemetry::Span::enter("dd.gc");
         self.stats.gc_runs += 1;
 
         // --- vector arena ---
@@ -81,6 +82,12 @@ impl Package {
         self.clear_compute_tables();
 
         self.stats.gc_freed += (vnodes_freed + mnodes_freed) as u64;
+        let _ = span.finish();
+        approxdd_telemetry::count("approxdd_dd_gc_runs_total", 1);
+        approxdd_telemetry::count(
+            "approxdd_dd_gc_freed_nodes_total",
+            (vnodes_freed + mnodes_freed) as u64,
+        );
         GcStats {
             vnodes_freed,
             mnodes_freed,

@@ -123,6 +123,7 @@ impl Package {
     /// (re-freezing would need a tier merge, which is unsupported).
     #[must_use]
     pub fn freeze(self) -> PackageSnapshot {
+        let _span = approxdd_telemetry::Span::enter("dd.freeze");
         assert!(
             self.ratio_frozen.is_none(),
             "cannot freeze a package layered over an existing snapshot"

@@ -82,6 +82,7 @@ use approxdd_sim::{
     DeadlineFactory, Engine, PolicyFactory, RetryPolicy, SharedObserver, SimError, SimSnapshot,
     SimulatorBuilder, Strategy, TraceEvent, TraceRecorder,
 };
+use approxdd_telemetry as telemetry;
 
 use crate::fault::{FaultKind, FaultPlan, InjectedPanic};
 use crate::seed::{SeedStream, DOMAIN_RUN, DOMAIN_SAMPLE};
@@ -550,6 +551,14 @@ enum Task {
     },
 }
 
+/// A task plus its submission timestamp — what actually travels the
+/// queue, so workers can report queue-wait latency. Telemetry only:
+/// the timestamp never influences scheduling or results.
+struct QueuedTask {
+    enqueued: Instant,
+    task: Task,
+}
+
 /// A fixed-size pool of worker threads, each owning an [`AnyBackend`]
 /// built from a shared [`SimulatorBuilder`] template (the template's
 /// `engine` knob selects DD, stabilizer or hybrid execution), running
@@ -587,14 +596,14 @@ enum Task {
 /// Dropping the pool closes the queue and joins every worker.
 #[derive(Debug)]
 pub struct BackendPool {
-    sender: Option<mpsc::Sender<Task>>,
+    sender: Option<mpsc::Sender<QueuedTask>>,
     template: SimulatorBuilder,
     supervisor: Supervisor,
     worker_stats: Vec<Arc<Mutex<WorkerStats>>>,
     /// Kept so [`BackendPool::heal`] can hand the shared queue to
     /// respawned workers (and so the send side never observes a
     /// disconnected channel while the pool is alive).
-    receiver: Arc<Mutex<mpsc::Receiver<Task>>>,
+    receiver: Arc<Mutex<mpsc::Receiver<QueuedTask>>>,
     queue_depth: Arc<AtomicUsize>,
     max_queue_depth: AtomicUsize,
     tasks_submitted: AtomicUsize,
@@ -631,7 +640,7 @@ impl BackendPool {
     pub fn with_workers(template: SimulatorBuilder, workers: usize) -> Self {
         let workers = workers.max(1);
         let seeds = SeedStream::new(template.sample_seed());
-        let (sender, receiver) = mpsc::channel::<Task>();
+        let (sender, receiver) = mpsc::channel::<QueuedTask>();
         let receiver = Arc::new(Mutex::new(receiver));
         let queue_depth = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::with_capacity(workers);
@@ -697,6 +706,7 @@ impl BackendPool {
         self.supervisor.heal(|slot| {
             let cell = Arc::clone(&self.worker_stats[slot]);
             cell.lock().unwrap_or_else(PoisonError::into_inner).respawns += 1;
+            telemetry::count("approxdd_pool_respawns_total", 1);
             let template = self.template.clone();
             let receiver = Arc::clone(&self.receiver);
             let depth = Arc::clone(&self.queue_depth);
@@ -974,6 +984,7 @@ impl BackendPool {
         };
         if matches!(err, ExecError::DeadlineExceeded { .. }) {
             self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            telemetry::count("approxdd_pool_deadline_exceeded_total", 1);
         }
         let job = &jobs[index];
         let abortish = matches!(
@@ -984,6 +995,7 @@ impl BackendPool {
             // Degrade before (instead of) blindly retrying an abort:
             // rerunning the identical policy would just abort again.
             self.retries.fetch_add(1, Ordering::Relaxed);
+            telemetry::count("approxdd_pool_retries_total", 1);
             pending.push((index, attempt + 1, true));
             return;
         }
@@ -996,6 +1008,7 @@ impl BackendPool {
         let retry = job.retry.unwrap_or(template_retry);
         if retryable && attempt + 1 < retry.max_attempts {
             self.retries.fetch_add(1, Ordering::Relaxed);
+            telemetry::count("approxdd_pool_retries_total", 1);
             pending.push((index, attempt + 1, degraded));
             return;
         }
@@ -1098,6 +1111,7 @@ impl BackendPool {
                 // Re-dispatching lost chunks with their original seeds:
                 // a retried chunk redraws the exact same shots.
                 self.retries.fetch_add(missing.len(), Ordering::Relaxed);
+                telemetry::count("approxdd_pool_retries_total", missing.len() as u64);
                 let delay = template_retry.delay_for(attempt);
                 if !delay.is_zero() {
                     thread::sleep(delay);
@@ -1199,8 +1213,17 @@ impl BackendPool {
 
     fn submit(&self, task: Task) {
         self.tasks_submitted.fetch_add(1, Ordering::Relaxed);
+        let kind = match &task {
+            Task::Run { .. } => "run",
+            Task::Sample { .. } => "sample",
+        };
+        telemetry::count_with("approxdd_pool_tasks_total", &[("kind", kind)], 1);
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        let task = QueuedTask {
+            enqueued: Instant::now(),
+            task,
+        };
         let sent = self.sender.as_ref().is_some_and(|tx| tx.send(task).is_ok());
         if !sent {
             // Every worker is gone; dropping the task drops its reply
@@ -1463,10 +1486,15 @@ impl Worker {
 fn worker_loop(
     id: usize,
     template: &SimulatorBuilder,
-    queue: &Mutex<mpsc::Receiver<Task>>,
+    queue: &Mutex<mpsc::Receiver<QueuedTask>>,
     depth: &AtomicUsize,
     stats: &Mutex<WorkerStats>,
 ) {
+    // Histogram handles resolved once per worker thread: recording on
+    // the task path is a few relaxed atomic adds, no registry lock.
+    let queue_wait = telemetry::PhaseTimer::new("pool.queue_wait");
+    let run_timer = telemetry::PhaseTimer::new("pool.run_job");
+    let sample_timer = telemetry::PhaseTimer::new("pool.sample_chunk");
     // A respawned worker adopts its slot's accumulated counters, so
     // the harvest-on-retire totals survive a predecessor's death (all
     // zeros on a first spawn — same code path). Injected panics fire
@@ -1495,11 +1523,12 @@ fn worker_loop(
             break; // pool dropped its sender: orderly shutdown
         };
         depth.fetch_sub(1, Ordering::Relaxed);
+        queue_wait.observe(task.enqueued.elapsed());
         let start = Instant::now();
-        match task {
+        match task.task {
             Task::Run { spec, reply } => {
                 let shots = spec.job.shots;
-                let result = worker.run_job(&spec);
+                let result = run_timer.time(|| worker.run_job(&spec));
                 worker.note_task(
                     stats,
                     start.elapsed(),
@@ -1518,7 +1547,8 @@ fn worker_loop(
                 seed,
                 reply,
             } => {
-                let result = worker.sample_chunk(epoch, &circuit, strategy, shots, seed);
+                let result = sample_timer
+                    .time(|| worker.sample_chunk(epoch, &circuit, strategy, shots, seed));
                 worker.note_task(
                     stats,
                     start.elapsed(),

@@ -320,6 +320,7 @@ impl NoisePool {
         cfg: &TrajectoryConfig,
     ) -> Result<TrajectoryOutcome, ExecError> {
         self.model.validate()?;
+        let span = approxdd_telemetry::Span::enter("noise.trajectories");
         // Sites and branch tables depend only on (circuit, model):
         // resolve them once, not per trajectory.
         let plan = TrajectoryPlan::new(circuit, &self.model);
@@ -370,6 +371,12 @@ impl NoisePool {
             let (m, s) = mean_std(&observables);
             (Some(m), Some(s))
         };
+        let _ = span.finish();
+        approxdd_telemetry::count("approxdd_noise_trajectories_total", cfg.trajectories as u64);
+        approxdd_telemetry::count(
+            "approxdd_noise_insertions_total",
+            inserted.iter().map(|&n| n as u64).sum(),
+        );
         Ok(TrajectoryOutcome {
             name: circuit.name().to_string(),
             n_qubits: circuit.n_qubits(),

@@ -16,6 +16,7 @@
 //! | `POST /jobs`     | Submit QASM (body) + query params; `202 {"job":id}`    |
 //! | `GET /jobs/{id}` | NDJSON event stream: trace, partials, final result     |
 //! | `GET /stats`     | Pool, scheduler, and session counters                  |
+//! | `GET /metrics`   | Prometheus text exposition of the telemetry registry   |
 //! | `GET /healthz`   | Liveness probe                                         |
 //! | `POST /shutdown` | Graceful drain: finish admitted jobs, then exit        |
 //!
@@ -44,9 +45,10 @@ use approxdd_circuit::Circuit;
 use approxdd_exec::{BackendPool, PoolJob, PoolOutcome};
 use approxdd_sim::json::Json;
 use approxdd_sim::{Engine, SimulatorBuilder, Strategy, TraceEvent};
+use approxdd_telemetry as telemetry;
 
 use crate::error::ServeError;
-use crate::http::{read_request, start_ndjson, write_json, Request};
+use crate::http::{read_request, start_ndjson, write_json, write_response, Request};
 use crate::scheduler::{Quota, Scheduler};
 use crate::session::{family_hash, SessionCache};
 
@@ -152,6 +154,9 @@ struct JobState {
     spec: Mutex<Option<JobSpec>>,
     events: Mutex<EventLog>,
     cond: Condvar,
+    /// Submission time — a runner picking the job up records the
+    /// admit→start latency into the `server.admit_wait` phase.
+    admitted: Instant,
 }
 
 impl JobState {
@@ -161,6 +166,7 @@ impl JobState {
             spec: Mutex::new(Some(spec)),
             events: Mutex::new(EventLog::default()),
             cond: Condvar::new(),
+            admitted: Instant::now(),
         }
     }
 
@@ -351,6 +357,11 @@ fn execute_job(inner: &Inner, job_id: u64) {
     let Some(spec) = state.spec.lock().expect("job spec poisoned").take() else {
         return;
     };
+    if telemetry::enabled() {
+        telemetry::phase_histogram("server.admit_wait").observe_duration(state.admitted.elapsed());
+    }
+    // Records admit→settle wall time on every exit path via drop.
+    let _run_span = telemetry::Span::enter("server.run");
 
     state.push(&Json::obj([
         ("type", Json::str("started")),
@@ -402,6 +413,9 @@ fn execute_job(inner: &Inner, job_id: u64) {
     }
 
     let mut results = inner.pool.run_jobs_with_snapshot(vec![job], snapshot);
+    // Settle latency: from the pool handing back outcomes to the event
+    // stream being finished (covers trace/result pushes and failures).
+    let _settle_span = telemetry::Span::enter("server.settle");
     match results.pop() {
         Some(Ok(outcome)) => {
             if let Some(trace) = &outcome.trace {
@@ -500,6 +514,16 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
             return;
         }
     };
+    let route = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/jobs") => "/jobs",
+        ("GET", path) if path.starts_with("/jobs/") => "/jobs/{id}",
+        ("GET", "/stats") => "/stats",
+        ("GET", "/healthz") => "/healthz",
+        ("GET", "/metrics") => "/metrics",
+        ("POST", "/shutdown") => "/shutdown",
+        _ => "other",
+    };
+    telemetry::count_with("approxdd_server_requests_total", &[("route", route)], 1);
     let result = match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/jobs") => submit_job(inner, &mut stream, &request),
         ("GET", path) if path.starts_with("/jobs/") => stream_job(inner, &mut stream, path),
@@ -507,6 +531,7 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
         ("GET", "/healthz") => {
             write_json(&mut stream, 200, &Json::obj([("ok", Json::Bool(true))])).map_err(Into::into)
         }
+        ("GET", "/metrics") => serve_metrics(inner, &mut stream),
         ("POST", "/shutdown") => shutdown(inner, &mut stream),
         (_, path) => Err(ServeError::NotFound(format!("{} {path}", request.method))),
     };
@@ -576,8 +601,10 @@ fn submit_job(
             .lock()
             .expect("job table poisoned")
             .remove(&job_id);
+        telemetry::count("approxdd_server_jobs_rejected_total", 1);
         return Err(err);
     }
+    telemetry::count("approxdd_server_jobs_admitted_total", 1);
     inner.sched_cond.notify_one();
 
     let body = Json::obj([
@@ -726,6 +753,77 @@ fn stats_json(inner: &Arc<Inner>) -> Json {
             ]),
         ),
     ])
+}
+
+/// `GET /metrics` — Prometheus text exposition over the process-wide
+/// registry. Counter and histogram series accumulate at their
+/// instrumentation sites; the scheduler, session-cache, pool and
+/// DD-package aggregates below are mirrored into gauges at scrape time
+/// instead (their native counters live behind the worker/lock
+/// machinery that already tracks them — per-lookup atomics in the
+/// compute-table hot path would cost more than the work measured).
+fn serve_metrics(inner: &Arc<Inner>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let registry = telemetry::global();
+    let (queued, admitted, rejected_full, rejected_quota) = {
+        let sched = inner.sched.lock().expect("scheduler poisoned");
+        (
+            sched.len(),
+            sched.admitted(),
+            sched.rejected_queue_full(),
+            sched.rejected_quota(),
+        )
+    };
+    let sessions = inner
+        .sessions
+        .lock()
+        .expect("session cache poisoned")
+        .stats();
+    let pool = inner.pool.stats();
+    let set = |name: &str, value: u64| registry.gauge(name).set(value);
+    set("approxdd_sched_queued", queued as u64);
+    set("approxdd_sched_admitted", admitted);
+    set("approxdd_sched_rejected_queue_full", rejected_full);
+    set("approxdd_sched_rejected_quota", rejected_quota);
+    set(
+        "approxdd_server_jobs_completed",
+        inner.jobs_completed.load(Ordering::Relaxed),
+    );
+    set(
+        "approxdd_server_jobs_failed",
+        inner.jobs_failed.load(Ordering::Relaxed),
+    );
+    set("approxdd_sessions_capacity", inner.session_capacity as u64);
+    set("approxdd_sessions_entries", sessions.entries as u64);
+    set("approxdd_sessions_hits", sessions.hits);
+    set("approxdd_sessions_misses", sessions.misses);
+    set("approxdd_sessions_inserts", sessions.inserts);
+    set("approxdd_sessions_evictions", sessions.evictions);
+    set(
+        "approxdd_sessions_frozen_nodes",
+        sessions.frozen_nodes as u64,
+    );
+    set("approxdd_sessions_attaches", sessions.attaches);
+    set("approxdd_pool_workers", pool.workers as u64);
+    set("approxdd_pool_tasks_submitted", pool.tasks_submitted as u64);
+    set("approxdd_pool_queue_depth", pool.queue_depth as u64);
+    set("approxdd_pool_max_queue_depth", pool.max_queue_depth as u64);
+    set("approxdd_pool_jobs_completed", pool.jobs_completed() as u64);
+    set("approxdd_pool_shots_drawn", pool.shots_drawn() as u64);
+    set(
+        "approxdd_dd_ct_hits",
+        pool.per_worker.iter().map(|w| w.ct_hits).sum(),
+    );
+    set(
+        "approxdd_dd_ct_misses",
+        pool.per_worker.iter().map(|w| w.ct_misses).sum(),
+    );
+    set("approxdd_dd_peak_nodes", pool.peak_nodes() as u64);
+    set("approxdd_dd_frozen_nodes", pool.frozen_nodes() as u64);
+    set("approxdd_dd_snapshot_hits", pool.snapshot_hits());
+    set("approxdd_dd_snapshot_gate_hits", pool.snapshot_gate_hits());
+    let body = registry.render_prometheus();
+    write_response(stream, 200, "text/plain; version=0.0.4", body.as_bytes())?;
+    Ok(())
 }
 
 /// Parses the request into a [`JobSpec`]: QASM body plus `shots`,

@@ -128,6 +128,29 @@ fn run(addr: &str, seed: u64) -> Result<(), String> {
     }
     println!("serve_client: /stats proves the warm session hit");
 
+    // The observability contract: `GET /metrics` is valid Prometheus
+    // text exposition carrying at least one counter series (requests by
+    // route) and one histogram series (the phase-duration family).
+    let (status, metrics) = http(addr, "GET", "/metrics", "")?;
+    if status != 200 {
+        return Err(format!("metrics: expected 200, got {status}"));
+    }
+    if !metrics.contains("# TYPE approxdd_server_requests_total counter") {
+        return Err(format!("metrics missing requests counter TYPE:\n{metrics}"));
+    }
+    if !metrics.contains("approxdd_server_requests_total{route=\"/jobs\"}") {
+        return Err(format!("metrics missing /jobs route counter:\n{metrics}"));
+    }
+    if !metrics.contains("approxdd_phase_duration_nanoseconds_bucket")
+        || !metrics.contains("le=\"+Inf\"")
+    {
+        return Err(format!("metrics missing phase histogram:\n{metrics}"));
+    }
+    if !metrics.contains("approxdd_pool_workers") {
+        return Err(format!("metrics missing pool gauges:\n{metrics}"));
+    }
+    println!("serve_client: /metrics exposes counter and histogram series");
+
     let (status, _) = http(addr, "POST", "/shutdown", "")?;
     if status != 200 {
         return Err(format!("shutdown: expected 200, got {status}"));

@@ -31,6 +31,10 @@
 //! * [`server`] — simulation as a service: a std-only HTTP job
 //!   server with bounded-queue admission, warm snapshot sessions and
 //!   NDJSON result streaming over the pool,
+//! * [`telemetry`] — the metrics plane: a lock-free metrics registry,
+//!   phase-timing spans on the hot seams, Prometheus text exposition
+//!   (`GET /metrics` on the server) and NDJSON snapshots for the
+//!   bench bins; strictly fingerprint-excluded,
 //! * [`shor`] — Shor's algorithm end-to-end.
 //!
 //! # Quickstart
@@ -84,3 +88,4 @@ pub use approxdd_shor as shor;
 pub use approxdd_sim as sim;
 pub use approxdd_stabilizer as stabilizer;
 pub use approxdd_statevector as statevector;
+pub use approxdd_telemetry as telemetry;
